@@ -1,0 +1,132 @@
+// Command lat_mem_rd is the standalone memory-latency tool (§6.2): it
+// runs the pointer-chase sweep on the host or a simulated machine and
+// prints the Figure-1 data — gnuplot blocks per stride, an ASCII plot,
+// and the extracted Table-6 hierarchy parameters.
+//
+//	lat_mem_rd -machine 'DEC Alpha@300'
+//	lat_mem_rd -machine host -max 64m -strides 16,64,256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/machines"
+	"repro/internal/paper"
+	"repro/internal/results"
+)
+
+func main() {
+	host.MaybeChild()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lat_mem_rd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		machineFlag = flag.String("machine", "host", "host or a simulated machine name")
+		maxFlag     = flag.String("max", "8m", "largest array size (k/m suffixes)")
+		strideFlag  = flag.String("strides", "", "comma-separated strides (default 8..512)")
+		plotFlag    = flag.Bool("plot", true, "render the ASCII plot")
+	)
+	flag.Parse()
+
+	maxSize, err := parseSize(*maxFlag)
+	if err != nil {
+		return fmt.Errorf("max: %w", err)
+	}
+	if *strideFlag != "" {
+		var strides []int64
+		for _, s := range strings.Split(*strideFlag, ",") {
+			v, err := parseSize(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("strides: %w", err)
+			}
+			strides = append(strides, v)
+		}
+		core.ChaseStrides = strides
+	}
+
+	var m core.Machine
+	if *machineFlag == "host" {
+		hm, err := host.New()
+		if err != nil {
+			return err
+		}
+		defer func() { _ = hm.Close() }()
+		m = hm
+	} else {
+		p, ok := machines.ByName(*machineFlag)
+		if !ok {
+			return fmt.Errorf("unknown machine %q", *machineFlag)
+		}
+		sm, err := machines.Build(p)
+		if err != nil {
+			return err
+		}
+		m = sm
+	}
+
+	entries, err := core.MemLatencySweep(m, core.Options{MaxChaseSize: maxSize})
+	if err != nil {
+		return err
+	}
+	db := &results.DB{}
+	for _, e := range entries {
+		if err := db.Add(e); err != nil {
+			return err
+		}
+	}
+
+	plot, err := paper.Figure1Plot(db, m.Name())
+	if err != nil {
+		return err
+	}
+	if *plotFlag {
+		if err := plot.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if err := plot.WriteGnuplot(os.Stdout); err != nil {
+		return err
+	}
+
+	h, err := analysis.ExtractHierarchy(entries[0].Series)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	for i, lvl := range h.Levels {
+		fmt.Printf("L%d: %8d bytes, %6.1f ns\n", i+1, lvl.Size, lvl.LatencyNS)
+	}
+	fmt.Printf("memory: %.1f ns\n", h.MemLatencyNS)
+	if h.LineSize > 0 {
+		fmt.Printf("line size: %d bytes\n", h.LineSize)
+	}
+	return nil
+}
+
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	ls := strings.ToLower(s)
+	switch {
+	case strings.HasSuffix(ls, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(ls, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return v * mult, nil
+}

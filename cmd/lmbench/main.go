@@ -1,0 +1,194 @@
+// Command lmbench runs the benchmark suite on the host or on one of
+// the built-in simulated 1995 machines, prints the paper-style tables,
+// and optionally saves the results database.
+//
+// Usage:
+//
+//	lmbench -list                     # available machines and experiments
+//	lmbench -machine host             # run on this machine
+//	lmbench -machine 'Linux/i686'     # run on a simulated machine
+//	lmbench -machine all-sim          # run on every simulated machine
+//	lmbench -only table2,table7      # restrict the experiments
+//	lmbench -out results.db          # save the database
+//	lmbench -merge old.db ...        # preload databases before running
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/machines"
+	"repro/internal/paper"
+	"repro/internal/ptime"
+	"repro/internal/results"
+	"repro/internal/timing"
+)
+
+func main() {
+	host.MaybeChild()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		machineFlag = flag.String("machine", "host", "target: host, all-sim, or a simulated machine name")
+		onlyFlag    = flag.String("only", "", "comma-separated experiment ids (default all)")
+		outFlag     = flag.String("out", "", "write the results database to this file")
+		listFlag    = flag.Bool("list", false, "list machines and experiments, then exit")
+		fastFlag    = flag.Bool("fast", false, "shrink workloads for a quick pass")
+		quietFlag   = flag.Bool("quiet", false, "suppress progress output")
+		extFlag     = flag.Bool("extensions", false, "include the paper's section-7 future-work experiments")
+		summaryFlag = flag.Bool("summary", false, "print per-machine summary blocks instead of the paper tables")
+	)
+	var merges multiFlag
+	flag.Var(&merges, "merge", "preload a results database (repeatable)")
+	flag.Parse()
+
+	if *listFlag {
+		fmt.Println("simulated machines:")
+		for _, n := range machines.Names() {
+			p, _ := machines.ByName(n)
+			fmt.Printf("  %-16s %s, %s @%gMHz (%d)\n", n, p.OSName, p.CPUName, p.MHz, p.Year)
+		}
+		fmt.Println("experiments:")
+		for _, e := range core.Experiments() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		fmt.Println("extensions (with -extensions):")
+		for _, e := range core.Extensions() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	db := &results.DB{}
+	for _, path := range merges {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		loaded, err := results.Decode(f)
+		_ = f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		db.Merge(loaded)
+	}
+
+	var only map[string]bool
+	if *onlyFlag != "" {
+		only = map[string]bool{}
+		for _, id := range strings.Split(*onlyFlag, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := core.ExperimentByID(id); !ok {
+				known := false
+				for _, e := range core.Extensions() {
+					if e.ID == id {
+						known = true
+					}
+				}
+				if !known {
+					return fmt.Errorf("unknown experiment %q", id)
+				}
+			}
+			only[id] = true
+		}
+	}
+
+	var targets []core.Machine
+	switch *machineFlag {
+	case "host":
+		hm, err := host.New()
+		if err != nil {
+			return err
+		}
+		defer func() { _ = hm.Close() }()
+		targets = append(targets, hm)
+	case "all-sim":
+		for _, n := range machines.Names() {
+			p, _ := machines.ByName(n)
+			m, err := machines.Build(p)
+			if err != nil {
+				return err
+			}
+			targets = append(targets, m)
+		}
+	default:
+		p, ok := machines.ByName(*machineFlag)
+		if !ok {
+			return fmt.Errorf("unknown machine %q (try -list)", *machineFlag)
+		}
+		m, err := machines.Build(p)
+		if err != nil {
+			return err
+		}
+		targets = append(targets, m)
+	}
+
+	opts := core.Options{}
+	if *fastFlag {
+		opts = core.Options{
+			Timing:       timing.Options{MinSampleTime: ptime.Millisecond, Samples: 3},
+			MemSize:      2 << 20,
+			FileSize:     2 << 20,
+			MaxChaseSize: 2 << 20,
+			FSFiles:      200,
+			CtxProcs:     []int{2, 8, 16},
+			CtxSizes:     []int64{0, 16 << 10, 32 << 10},
+		}
+	}
+
+	for _, m := range targets {
+		s := &core.Suite{M: m, Opts: opts, Only: only, Extended: *extFlag}
+		if !*quietFlag {
+			s.Log = os.Stderr
+			fmt.Fprintf(os.Stderr, "== %s ==\n", m.Name())
+		}
+		skipped, err := s.Run(db)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.Name(), err)
+		}
+		if len(skipped) > 0 && !*quietFlag {
+			fmt.Fprintf(os.Stderr, "%s: skipped (unsupported): %s\n",
+				m.Name(), strings.Join(skipped, ", "))
+		}
+	}
+
+	if *summaryFlag {
+		for i, m := range targets {
+			if i > 0 {
+				fmt.Println()
+			}
+			if err := paper.RenderSummary(os.Stdout, db, m.Name()); err != nil {
+				return err
+			}
+		}
+	} else if err := paper.RenderAll(os.Stdout, db); err != nil {
+		return err
+	}
+
+	if *outFlag != "" {
+		f, err := os.Create(*outFlag)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		if err := db.Encode(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// multiFlag collects repeatable string flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }

@@ -1,0 +1,64 @@
+// Command lmcompare quantifies agreement between two results
+// databases: per benchmark it reports the median got/ref ratio and the
+// Spearman rank correlation of the machine ranking. With -ref paper it
+// compares against the paper's published evaluation (the reproduction's
+// headline check).
+//
+//	lmcompare -ref paper results/simulated.db
+//	lmcompare -ref run1.db run2.db
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/compare"
+	"repro/internal/paperdata"
+	"repro/internal/results"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lmcompare:", err)
+		os.Exit(1)
+	}
+}
+
+func loadDB(path string) (*results.DB, error) {
+	if path == "paper" {
+		return paperdata.DB(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	return results.Decode(f)
+}
+
+func run() error {
+	refFlag := flag.String("ref", "paper", `reference database ("paper" or a file)`)
+	threshFlag := flag.Float64("rank", 0.6, "rank-correlation threshold for the summary")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: lmcompare [-ref paper|file.db] got.db")
+	}
+	ref, err := loadDB(*refFlag)
+	if err != nil {
+		return fmt.Errorf("reference: %w", err)
+	}
+	got, err := loadDB(flag.Arg(0))
+	if err != nil {
+		return fmt.Errorf("candidate: %w", err)
+	}
+	comps := compare.Compare(ref, got)
+	if len(comps) == 0 {
+		return fmt.Errorf("no benchmarks in common")
+	}
+	compare.Render(os.Stdout, comps)
+	mean, above, total := compare.Summary(comps, *threshFlag)
+	fmt.Printf("\nshape agreement: mean rank %.3f; %d/%d benchmarks >= %.2f\n",
+		mean, above, total, *threshFlag)
+	return nil
+}

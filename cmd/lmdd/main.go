@@ -1,0 +1,196 @@
+// Command lmdd is the suite's dd-like I/O benchmark (§6.9): it moves
+// data sequentially or randomly between files (or internal memory
+// targets), optionally generating a pattern on output and checking it
+// on input, and reports throughput.
+//
+// Flags use dd-style key=value arguments:
+//
+//	lmdd if=/dev/zero of=out.dat bs=8k count=1024
+//	lmdd if=out.dat bs=512 count=2048 rand=1
+//	lmdd of=out.dat bs=8k count=1024 pattern=1
+//	lmdd if=out.dat bs=8k check=1
+//	lmdd if=internal bs=64k count=256           # memory source
+//	lmdd if='sim:SGI Challenge' bs=512 count=2000   # a simulated 1995 SCSI disk
+//	lmdd if='sim:SGI Challenge' bs=512 count=500 rand=1
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/lmdd"
+	"repro/internal/machines"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lmdd:", err)
+		os.Exit(1)
+	}
+}
+
+// parseSize understands dd suffixes: k, m, g (binary).
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	ls := strings.ToLower(s)
+	switch {
+	case strings.HasSuffix(ls, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(ls, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(ls, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return v * mult, nil
+}
+
+// fileInput adapts an os.File to lmdd.Input.
+type fileInput struct {
+	*os.File
+	size int64
+}
+
+func (f fileInput) Size() int64 { return f.size }
+
+func run(args []string) error {
+	kv := map[string]string{}
+	for _, a := range args {
+		i := strings.IndexByte(a, '=')
+		if i < 0 {
+			return fmt.Errorf("argument %q is not key=value", a)
+		}
+		kv[a[:i]] = a[i+1:]
+	}
+
+	o := lmdd.Options{}
+	var err error
+	if v, ok := kv["bs"]; ok {
+		bs, err := parseSize(v)
+		if err != nil {
+			return fmt.Errorf("bs: %w", err)
+		}
+		o.BlockSize = int(bs)
+	}
+	if v, ok := kv["count"]; ok {
+		if o.Count, err = parseSize(v); err != nil {
+			return fmt.Errorf("count: %w", err)
+		}
+	}
+	if v, ok := kv["skip"]; ok {
+		if o.Skip, err = parseSize(v); err != nil {
+			return fmt.Errorf("skip: %w", err)
+		}
+	}
+	if v, ok := kv["seed"]; ok {
+		if o.Seed, err = parseSize(v); err != nil {
+			return fmt.Errorf("seed: %w", err)
+		}
+	}
+	o.Random = kv["rand"] == "1"
+	o.Pattern = kv["pattern"] == "1"
+	o.Check = kv["check"] == "1"
+
+	ifName, hasIf := kv["if"]
+	ofName, hasOf := kv["of"]
+
+	var src lmdd.Input
+	if hasIf {
+		if name, ok := strings.CutPrefix(ifName, "sim:"); ok {
+			p, found := machines.ByName(name)
+			if !found {
+				return fmt.Errorf("unknown simulated machine %q (see lmbench -list)", name)
+			}
+			m, err := machines.Build(p)
+			if err != nil {
+				return err
+			}
+			dio := m.DiskIO()
+			if dio == nil {
+				return fmt.Errorf("%s has no simulated disk", name)
+			}
+			src = dio
+			o.Clock = m.Clock()
+			fmt.Fprintf(os.Stderr, "timing against the simulated %s disk (virtual clock)\n", name)
+		} else if ifName == "internal" {
+			size := int64(8 << 20)
+			if v, ok := kv["isize"]; ok {
+				if size, err = parseSize(v); err != nil {
+					return fmt.Errorf("isize: %w", err)
+				}
+			}
+			mt := lmdd.NewMemTarget(size)
+			if o.Check {
+				// Pre-fill with the pattern so check passes.
+				if _, err := lmdd.Write(mt, size, lmdd.Options{
+					BlockSize: o.BlockSize, Count: size / int64(max(o.BlockSize, 1)), Pattern: true,
+				}); err != nil {
+					return err
+				}
+			}
+			src = mt
+		} else {
+			f, err := os.Open(ifName)
+			if err != nil {
+				return err
+			}
+			defer func() { _ = f.Close() }()
+			st, err := f.Stat()
+			if err != nil {
+				return err
+			}
+			src = fileInput{f, st.Size()}
+		}
+	}
+
+	var dst *os.File
+	if hasOf && ofName != "internal" {
+		dst, err = os.OpenFile(ofName, os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = dst.Close() }()
+	}
+
+	var res lmdd.Result
+	switch {
+	case hasIf && hasOf:
+		var out interface {
+			WriteAt([]byte, int64) (int, error)
+		} = dst
+		if ofName == "internal" {
+			out = lmdd.NewMemTarget(src.Size())
+		}
+		res, err = lmdd.Copy(out, src, o)
+	case hasIf:
+		res, err = lmdd.Read(src, o)
+	case hasOf:
+		limit := int64(0)
+		if o.Random {
+			limit = o.Count * int64(max(o.BlockSize, 8192))
+		}
+		res, err = lmdd.Write(dst, limit, o)
+	default:
+		return fmt.Errorf("need if= and/or of=")
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	if o.Check && res.PatternErrors > 0 {
+		return fmt.Errorf("%d pattern errors", res.PatternErrors)
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

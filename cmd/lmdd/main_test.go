@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		bad  bool
+	}{
+		{"512", 512, false},
+		{"8k", 8 << 10, false},
+		{"2M", 2 << 20, false},
+		{"1g", 1 << 30, false},
+		{"x", 0, true},
+		{"", 0, true},
+	}
+	for _, c := range cases {
+		got, err := parseSize(c.in)
+		if c.bad {
+			if err == nil {
+				t.Errorf("parseSize(%q) should error", c.in)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", c.in, got, c.want, err)
+		}
+	}
+}
+
+func TestRunPatternRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "x.dat")
+	if err := run([]string{"of=" + out, "bs=8k", "count=16", "pattern=1"}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(out)
+	if err != nil || st.Size() != 16*8192 {
+		t.Fatalf("output = %v, %v", st, err)
+	}
+	if err := run([]string{"if=" + out, "bs=8k", "check=1"}); err != nil {
+		t.Fatalf("check failed: %v", err)
+	}
+	// Corrupt and expect the check to fail.
+	f, err := os.OpenFile(out, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff, 0xff, 0xff, 0xff}, 100); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	if err := run([]string{"if=" + out, "bs=8k", "check=1"}); err == nil {
+		t.Error("corrupted pattern should fail the check")
+	}
+}
+
+func TestRunArgErrors(t *testing.T) {
+	if err := run([]string{"notkeyvalue"}); err == nil {
+		t.Error("malformed arg should error")
+	}
+	if err := run([]string{"bs=8k"}); err == nil {
+		t.Error("missing if/of should error")
+	}
+	if err := run([]string{"of=/dev/null", "bs=bogus", "count=1"}); err == nil {
+		t.Error("bad bs should error")
+	}
+	if err := run([]string{"if=sim:No Such Machine", "bs=512", "count=1"}); err == nil {
+		t.Error("unknown sim machine should error")
+	}
+}
+
+func TestRunInternalSource(t *testing.T) {
+	if err := run([]string{"if=internal", "bs=64k", "count=8", "isize=1m", "check=1"}); err != nil {
+		t.Fatalf("internal source: %v", err)
+	}
+}
+
+func TestRunSimDisk(t *testing.T) {
+	if err := run([]string{"if=sim:SGI Challenge", "bs=512", "count=50"}); err != nil {
+		t.Fatalf("sim disk: %v", err)
+	}
+}

@@ -1,0 +1,79 @@
+// Ctxswitch reproduces Figure 2: context-switch time as a function of
+// ring size and per-process cache footprint, with the pipe/summing
+// overhead subtracted. On the simulated machines the knee appears where
+// the combined footprints outgrow the second-level cache.
+//
+//	go run ./examples/ctxswitch                 # this machine
+//	go run ./examples/ctxswitch 'Linux/i686'    # the paper's Figure 2 machine
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/machines"
+	"repro/internal/paper"
+	"repro/internal/results"
+)
+
+func main() {
+	host.MaybeChild()
+	log.SetFlags(0)
+
+	target := "Linux/i686"
+	if len(os.Args) > 1 {
+		target = os.Args[1]
+	}
+
+	var m core.Machine
+	if target == "host" {
+		hm, err := host.New()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() { _ = hm.Close() }()
+		m = hm
+	} else {
+		p, ok := machines.ByName(target)
+		if !ok {
+			log.Fatalf("unknown machine %q; available: %v", target, machines.Names())
+		}
+		sm, err := machines.Build(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m = sm
+	}
+
+	opts := core.Options{
+		CtxProcs: []int{2, 4, 6, 8, 10, 12, 14, 16, 18, 20},
+		CtxSizes: []int64{0, 4 << 10, 16 << 10, 32 << 10, 64 << 10},
+	}
+	fmt.Fprintf(os.Stderr, "measuring context switches on %s...\n", m.Name())
+	entries, err := core.CtxSweep(m, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := &results.DB{}
+	for _, e := range entries {
+		_ = db.Add(e)
+	}
+
+	plot, err := paper.Figure2Plot(db, m.Name())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := plot.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nTable 10 points (us/switch):")
+	for _, key := range []string{"lat_ctx.2p_0k", "lat_ctx.2p_32k", "lat_ctx.8p_0k", "lat_ctx.8p_32k"} {
+		if v, ok := db.Scalar(key, m.Name()); ok {
+			fmt.Printf("  %-16s %8.1f\n", key, v)
+		}
+	}
+}

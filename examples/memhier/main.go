@@ -1,0 +1,81 @@
+// Memhier maps a machine's memory hierarchy the way §6.2 does: it runs
+// the pointer-chase sweep, plots the Figure-1 staircase, and extracts
+// the Table-6 parameters (cache sizes, latencies, line size).
+//
+//	go run ./examples/memhier                      # this machine
+//	go run ./examples/memhier 'DEC Alpha@300'      # the paper's Figure 1 machine
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/machines"
+	"repro/internal/paper"
+	"repro/internal/results"
+)
+
+func main() {
+	host.MaybeChild()
+	log.SetFlags(0)
+
+	target := "host"
+	if len(os.Args) > 1 {
+		target = os.Args[1]
+	}
+
+	var m core.Machine
+	var maxSize int64 = 8 << 20
+	if target == "host" {
+		hm, err := host.New()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() { _ = hm.Close() }()
+		m = hm
+		maxSize = 64 << 20 // modern LLCs are tens of MB
+	} else {
+		p, ok := machines.ByName(target)
+		if !ok {
+			log.Fatalf("unknown machine %q; available: %v", target, machines.Names())
+		}
+		sm, err := machines.Build(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m = sm
+	}
+
+	fmt.Fprintf(os.Stderr, "sweeping %s (sizes up to %dMB)...\n", m.Name(), maxSize>>20)
+	entries, err := core.MemLatencySweep(m, core.Options{MaxChaseSize: maxSize})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := &results.DB{}
+	_ = db.Add(entries[0])
+
+	plot, err := paper.Figure1Plot(db, m.Name())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := plot.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	h, err := analysis.ExtractHierarchy(entries[0].Series)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nextracted hierarchy (the Table 6 algorithm):")
+	for i, lvl := range h.Levels {
+		fmt.Printf("  L%d cache: %8d bytes at %6.1f ns/load\n", i+1, lvl.Size, lvl.LatencyNS)
+	}
+	fmt.Printf("  main memory: %.1f ns/load (back-to-back)\n", h.MemLatencyNS)
+	if h.LineSize > 0 {
+		fmt.Printf("  cache line: %d bytes\n", h.LineSize)
+	}
+}

@@ -1,0 +1,84 @@
+// Quickstart: run a handful of lmbench measurements on this machine
+// and on a simulated 1995 Pentium Pro, side by side.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/machines"
+	"repro/internal/ptime"
+	"repro/internal/results"
+	"repro/internal/timing"
+)
+
+func main() {
+	host.MaybeChild()
+	log.SetFlags(0)
+
+	// Target 1: the real machine.
+	hm, err := host.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = hm.Close() }()
+
+	// Target 2: the simulated Linux/i686 from the paper's Table 1.
+	profile, ok := machines.ByName("Linux/i686")
+	if !ok {
+		log.Fatal("missing built-in profile")
+	}
+	sm, err := machines.Build(profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Small workloads so the demo finishes quickly.
+	opts := core.Options{
+		Timing:    timing.Options{MinSampleTime: 2 * ptime.Millisecond, Samples: 3},
+		MemSize:   4 << 20,
+		FileSize:  2 << 20,
+		PipeBytes: 256 << 10,
+		TCPBytes:  256 << 10,
+		FSFiles:   200,
+	}
+
+	db := &results.DB{}
+	only := map[string]bool{
+		"table2": true, "table3": true, "table7": true,
+		"table11": true, "table12": true, "table16": true,
+	}
+	for _, m := range []core.Machine{hm, sm} {
+		fmt.Fprintf(os.Stderr, "measuring %s...\n", m.Name())
+		s := &core.Suite{M: m, Opts: opts, Only: only}
+		if _, err := s.Run(db); err != nil {
+			log.Fatalf("%s: %v", m.Name(), err)
+		}
+	}
+
+	rows := []struct {
+		label, bench, unit string
+	}{
+		{"memory copy (libc)", "bw_mem.bcopy_libc", "MB/s"},
+		{"memory read", "bw_mem.read", "MB/s"},
+		{"pipe bandwidth", "bw_ipc.pipe", "MB/s"},
+		{"TCP bandwidth", "bw_ipc.tcp", "MB/s"},
+		{"null syscall", "lat_syscall", "us"},
+		{"pipe latency", "lat_pipe", "us"},
+		{"TCP latency", "lat_tcp", "us"},
+		{"RPC/TCP latency", "lat_rpc_tcp", "us"},
+		{"file create", "lat_fs.create", "us"},
+	}
+	fmt.Printf("%-22s %14s %18s\n", "benchmark", hm.Name(), sm.Name()+" (sim)")
+	for _, r := range rows {
+		h, _ := db.Scalar(r.bench, hm.Name())
+		s, _ := db.Scalar(r.bench, sm.Name())
+		fmt.Printf("%-22s %9.2f %-4s %13.2f %-4s\n", r.label, h, r.unit, s, r.unit)
+	}
+	fmt.Println("\n(30 years of hardware progress, quantified.)")
+}

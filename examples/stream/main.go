@@ -1,0 +1,88 @@
+// Stream runs the paper's §7 extensions on a machine: the McCalpin
+// STREAM kernels (with automatic region sizing so the outermost cache
+// cannot satisfy them), the dirty-read/write latency variants, and the
+// TLB probe.
+//
+//	go run ./examples/stream                   # this machine
+//	go run ./examples/stream 'SGI Challenge'   # a simulated MP machine (adds cache-to-cache)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/machines"
+	"repro/internal/paper"
+	"repro/internal/results"
+)
+
+func main() {
+	host.MaybeChild()
+	log.SetFlags(0)
+
+	target := "host"
+	if len(os.Args) > 1 {
+		target = os.Args[1]
+	}
+
+	var m core.Machine
+	if target == "host" {
+		hm, err := host.New()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() { _ = hm.Close() }()
+		m = hm
+	} else {
+		p, ok := machines.ByName(target)
+		if !ok {
+			log.Fatalf("unknown machine %q; available: %v", target, machines.Names())
+		}
+		sm, err := machines.Build(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m = sm
+	}
+
+	// §7 "Automatic sizing": make sure the STREAM arrays dwarf the
+	// outermost cache.
+	base := core.Options{MaxChaseSize: 4 << 20}
+	opts, err := core.AutoSize(m, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "autosized memory regions to %d MB\n", opts.MemSize>>20)
+
+	db := &results.DB{}
+	s := &core.Suite{
+		M: m, Opts: opts, Extended: true,
+		Only: map[string]bool{
+			"ext_stream": true, "ext_memvar": true, "ext_tlb": true, "ext_c2c": true,
+		},
+		Log: os.Stderr,
+	}
+	skipped, err := s.Run(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, id := range []string{"ext_stream", "ext_memvar", "ext_tlb", "ext_c2c"} {
+		wasSkipped := false
+		for _, sk := range skipped {
+			if sk == id {
+				wasSkipped = true
+			}
+		}
+		if wasSkipped {
+			fmt.Printf("(%s skipped: not supported on this machine)\n\n", id)
+			continue
+		}
+		if err := paper.RenderTable(os.Stdout, id, db); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/results"
+)
+
+// synthSweep builds a Figure-1-like sweep for a machine with an 8K L1
+// at l1ns, a 512K L2 at l2ns, memory at memns, and 32-byte lines:
+// strides below the line size amortize, the largest strides add a TLB
+// bump.
+func synthSweep(l1ns, l2ns, memns float64) []results.Point {
+	var pts []results.Point
+	for _, stride := range []float64{8, 16, 32, 64, 128, 256, 512} {
+		for size := 512.0; size <= 8<<20; size *= 2 {
+			if size < 2*stride {
+				continue
+			}
+			var lat float64
+			switch {
+			case size <= 8<<10:
+				lat = l1ns
+			case size <= 512<<10:
+				lat = l2ns
+			default:
+				lat = memns
+			}
+			// Sub-line strides hit the 32-byte line several times.
+			if stride < 32 {
+				hits := 32/stride - 1
+				lat = (lat + hits*l1ns) / (hits + 1)
+			}
+			// TLB pressure at the largest strides and sizes.
+			if stride >= 512 && size > 4<<20 {
+				lat += 100
+			}
+			pts = append(pts, results.Point{X: size, X2: stride, Y: lat})
+		}
+	}
+	return pts
+}
+
+func TestExtractHierarchy(t *testing.T) {
+	h, err := ExtractHierarchy(synthSweep(6, 50, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Levels) != 2 {
+		t.Fatalf("levels = %+v, want 2", h.Levels)
+	}
+	if math.Abs(h.Levels[0].LatencyNS-6) > 1 {
+		t.Errorf("L1 latency = %v, want ~6", h.Levels[0].LatencyNS)
+	}
+	if h.Levels[0].Size != 8<<10 {
+		t.Errorf("L1 size = %d, want 8K", h.Levels[0].Size)
+	}
+	if math.Abs(h.Levels[1].LatencyNS-50) > 5 {
+		t.Errorf("L2 latency = %v, want ~50", h.Levels[1].LatencyNS)
+	}
+	if h.Levels[1].Size != 512<<10 {
+		t.Errorf("L2 size = %d, want 512K", h.Levels[1].Size)
+	}
+	if math.Abs(h.MemLatencyNS-300) > 30 {
+		t.Errorf("memory latency = %v, want ~300", h.MemLatencyNS)
+	}
+	// "The smallest stride that is the same as main memory speed is
+	// likely to be the cache line size": 32 here.
+	if h.LineSize != 32 {
+		t.Errorf("line size = %d, want 32", h.LineSize)
+	}
+}
+
+func TestExtractSingleLevel(t *testing.T) {
+	// A machine like the HP K210: one big cache, then memory.
+	var pts []results.Point
+	for size := 512.0; size <= 4<<20; size *= 2 {
+		lat := 8.0
+		if size > 256<<10 {
+			lat = 349
+		}
+		pts = append(pts, results.Point{X: size, X2: 128, Y: lat})
+	}
+	h, err := ExtractHierarchy(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Levels) != 1 || h.Levels[0].Size != 256<<10 {
+		t.Errorf("levels = %+v, want one 256K level", h.Levels)
+	}
+	if math.Abs(h.MemLatencyNS-349) > 10 {
+		t.Errorf("memory = %v", h.MemLatencyNS)
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	if _, err := ExtractHierarchy(nil); err == nil {
+		t.Error("empty series should error")
+	}
+	// Two points at the reference stride: too few.
+	pts := []results.Point{{X: 512, X2: 128, Y: 5}, {X: 1024, X2: 128, Y: 5}}
+	if _, err := ExtractHierarchy(pts); err == nil {
+		t.Error("too few sizes should error")
+	}
+}
+
+func TestExtractAllInCache(t *testing.T) {
+	// Curve that never leaves the cache: memory latency falls back to
+	// the outermost plateau.
+	var pts []results.Point
+	for size := 512.0; size <= 64<<10; size *= 2 {
+		pts = append(pts, results.Point{X: size, X2: 128, Y: 5})
+	}
+	h, err := ExtractHierarchy(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MemLatencyNS != 5 {
+		t.Errorf("fallback memory latency = %v", h.MemLatencyNS)
+	}
+}
+
+func TestChooseReferenceStride(t *testing.T) {
+	if s := chooseReferenceStride([]float64{8, 64, 128, 512}); s != 128 {
+		t.Errorf("reference = %v, want 128", s)
+	}
+	if s := chooseReferenceStride([]float64{8}); s != 8 {
+		t.Errorf("single stride = %v", s)
+	}
+	if s := chooseReferenceStride([]float64{16, 32}); s != 32 {
+		t.Errorf("closest to 128 = %v, want 32", s)
+	}
+}

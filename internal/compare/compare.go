@@ -1,0 +1,125 @@
+// Package compare quantifies agreement between two results databases —
+// typically the paper's published values (internal/paperdata) and a
+// regenerated run. For every benchmark present in both it reports the
+// median got/ref ratio (value agreement) and the Spearman rank
+// correlation across the common machines (shape agreement: who wins,
+// who loses).
+package compare
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/results"
+	"repro/internal/stats"
+)
+
+// Benchmark is the comparison result for one benchmark key.
+type Benchmark struct {
+	// Benchmark is the result-database key.
+	Benchmark string
+	// Unit echoes the reference unit.
+	Unit string
+	// Machines is the number of machines present in both databases.
+	Machines int
+	// RankCorr is Spearman's rank correlation across the common
+	// machines; NaN-free: HasRank is false when it cannot be computed
+	// (fewer than three machines, or a constant column).
+	RankCorr float64
+	HasRank  bool
+	// MedianRatio is the median of got/ref over common machines.
+	MedianRatio float64
+	// WorstRatio is the common machine furthest from ratio 1.
+	WorstRatio   float64
+	WorstMachine string
+}
+
+// Compare evaluates got against ref for every scalar benchmark they
+// share, sorted by benchmark name.
+func Compare(ref, got *results.DB) []Benchmark {
+	var out []Benchmark
+	for _, bench := range ref.Benchmarks() {
+		var refs, gots, ratios []float64
+		var machines []string
+		unit := ""
+		for _, machine := range ref.Machines() {
+			rv, ok := ref.Scalar(bench, machine)
+			if !ok || rv == 0 {
+				continue
+			}
+			gv, ok := got.Scalar(bench, machine)
+			if !ok {
+				continue
+			}
+			if e, ok2 := ref.Get(bench, machine); ok2 {
+				unit = e.Unit
+			}
+			refs = append(refs, rv)
+			gots = append(gots, gv)
+			ratios = append(ratios, gv/rv)
+			machines = append(machines, machine)
+		}
+		if len(refs) == 0 {
+			continue
+		}
+		b := Benchmark{Benchmark: bench, Unit: unit, Machines: len(refs)}
+		if r, err := stats.SpearmanRank(refs, gots); err == nil {
+			b.RankCorr, b.HasRank = r, true
+		}
+		b.MedianRatio, _ = stats.Median(ratios)
+		worstDist := -1.0
+		for i, r := range ratios {
+			d := r
+			if d < 1 {
+				if d <= 0 {
+					d = 1e9
+				} else {
+					d = 1 / d
+				}
+			}
+			if d > worstDist {
+				worstDist = d
+				b.WorstRatio = r
+				b.WorstMachine = machines[i]
+			}
+		}
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Benchmark < out[j].Benchmark })
+	return out
+}
+
+// Render prints the comparison as an aligned table.
+func Render(w io.Writer, comps []Benchmark) {
+	fmt.Fprintf(w, "%-26s %5s %6s %8s  %s\n", "benchmark", "n", "rank", "med x", "worst (machine)")
+	fmt.Fprintln(w, "--------------------------------------------------------------------------")
+	for _, c := range comps {
+		rank := "   -"
+		if c.HasRank {
+			rank = fmt.Sprintf("%+.2f", c.RankCorr)
+		}
+		fmt.Fprintf(w, "%-26s %5d %6s %8.2f  %.2fx (%s)\n",
+			c.Benchmark, c.Machines, rank, c.MedianRatio, c.WorstRatio, c.WorstMachine)
+	}
+}
+
+// Summary aggregates shape agreement: the mean rank correlation over
+// benchmarks where it is defined, and how many exceed the threshold.
+func Summary(comps []Benchmark, rankThreshold float64) (meanRank float64, above, total int) {
+	var sum float64
+	for _, c := range comps {
+		if !c.HasRank {
+			continue
+		}
+		sum += c.RankCorr
+		total++
+		if c.RankCorr >= rankThreshold {
+			above++
+		}
+	}
+	if total > 0 {
+		meanRank = sum / float64(total)
+	}
+	return meanRank, above, total
+}

@@ -1,0 +1,97 @@
+package compare
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/paperdata"
+	"repro/internal/results"
+)
+
+func TestCompareSelfIsPerfect(t *testing.T) {
+	ref := paperdata.DB()
+	comps := Compare(ref, ref)
+	if len(comps) == 0 {
+		t.Fatal("no comparisons")
+	}
+	for _, c := range comps {
+		if c.MedianRatio != 1 {
+			t.Errorf("%s: self ratio = %v", c.Benchmark, c.MedianRatio)
+		}
+		if c.HasRank && c.RankCorr < 0.999 {
+			t.Errorf("%s: self rank = %v", c.Benchmark, c.RankCorr)
+		}
+	}
+	mean, above, total := Summary(comps, 0.9)
+	if total == 0 || above != total || mean < 0.999 {
+		t.Errorf("self summary = %v, %d/%d", mean, above, total)
+	}
+}
+
+func TestCompareDetectsDisagreement(t *testing.T) {
+	ref := &results.DB{}
+	got := &results.DB{}
+	add := func(db *results.DB, m string, v float64) {
+		_ = db.Add(results.Entry{Benchmark: "b", Machine: m, Unit: "us", Scalar: v})
+	}
+	// Reference ranks a < b < c < d; got reverses it and doubles values.
+	vals := map[string]float64{"a": 1, "b": 2, "c": 3, "d": 4}
+	for m, v := range vals {
+		add(ref, m, v)
+		add(got, m, (5-v)*2)
+	}
+	comps := Compare(ref, got)
+	if len(comps) != 1 {
+		t.Fatalf("comps = %d", len(comps))
+	}
+	c := comps[0]
+	if !c.HasRank || c.RankCorr > -0.99 {
+		t.Errorf("reversed ranking should give rank ~-1, got %v", c.RankCorr)
+	}
+	if c.Machines != 4 {
+		t.Errorf("Machines = %d", c.Machines)
+	}
+}
+
+func TestCompareSkipsMissing(t *testing.T) {
+	ref := paperdata.DB()
+	got := &results.DB{}
+	_ = got.Add(results.Entry{Benchmark: "lat_syscall", Machine: "Linux/i686", Unit: "us", Scalar: 3})
+	_ = got.Add(results.Entry{Benchmark: "lat_syscall", Machine: "HP K210", Unit: "us", Scalar: 10})
+	comps := Compare(ref, got)
+	if len(comps) != 1 || comps[0].Benchmark != "lat_syscall" || comps[0].Machines != 2 {
+		t.Errorf("comps = %+v", comps)
+	}
+	// Two machines: rank undefined.
+	if comps[0].HasRank {
+		t.Error("rank should be undefined for two machines")
+	}
+}
+
+func TestRender(t *testing.T) {
+	ref := paperdata.DB()
+	var buf bytes.Buffer
+	Render(&buf, Compare(ref, ref))
+	out := buf.String()
+	if !strings.Contains(out, "lat_syscall") || !strings.Contains(out, "+1.00") {
+		t.Errorf("render output:\n%s", out)
+	}
+}
+
+func TestPaperDataSane(t *testing.T) {
+	db := paperdata.DB()
+	if len(db.Machines()) < 12 {
+		t.Errorf("paper data has %d machines", len(db.Machines()))
+	}
+	if len(paperdata.Benchmarks()) < 20 {
+		t.Errorf("paper data has %d benchmark columns", len(paperdata.Benchmarks()))
+	}
+	// Spot checks against the paper's headline numbers.
+	if v, ok := db.Scalar("lat_syscall", "Linux/i686"); !ok || v != 3 {
+		t.Errorf("paper lat_syscall Linux/i686 = %v, %v", v, ok)
+	}
+	if v, ok := db.Scalar("bw_tcp_remote.hippi", "SGI Challenge"); !ok || v != 79.3 {
+		t.Errorf("paper hippi = %v, %v", v, ok)
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/results"
+	"repro/internal/timing"
+)
+
+func entry(m Machine, bench, unit string, v float64, attrs map[string]string) results.Entry {
+	return results.Entry{Benchmark: bench, Machine: m.Name(), Unit: unit, Scalar: v, Attrs: attrs}
+}
+
+// bwOf converts a per-op measurement over `bytes` into MB/s.
+func bwOf(meas timing.Measurement, bytes int64) float64 {
+	return timing.MBPerSec(bytes, meas.PerOp)
+}
+
+// BWMem is §5.1 / Table 2: memory copy (libc and unrolled), read and
+// write bandwidth over large regions ("In order to test memory
+// bandwidth rather than cache bandwidth, both benchmarks copy an 8M
+// area to another 8M area").
+func BWMem(m Machine, opts Options) ([]results.Entry, error) {
+	opts = opts.withDefaults()
+	size := opts.MemSize
+	mem := m.Mem()
+	src, err := mem.Alloc(size)
+	if err != nil {
+		return nil, err
+	}
+	dst, err := mem.Alloc(size)
+	if err != nil {
+		return nil, err
+	}
+	attrs := map[string]string{"size": fmt.Sprint(size)}
+
+	var out []results.Entry
+	cases := []struct {
+		name string
+		op   func(n int64) error
+	}{
+		{"bw_mem.bcopy_libc", func(n int64) error {
+			for i := int64(0); i < n; i++ {
+				if err := mem.Copy(dst, src, size); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"bw_mem.bcopy_unrolled", func(n int64) error {
+			for i := int64(0); i < n; i++ {
+				if err := mem.CopyUnrolled(dst, src, size); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"bw_mem.read", func(n int64) error {
+			for i := int64(0); i < n; i++ {
+				if err := mem.ReadSum(src, size); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"bw_mem.write", func(n int64) error {
+			for i := int64(0); i < n; i++ {
+				if err := mem.Write(dst, size); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+	}
+	for _, c := range cases {
+		meas, err := timing.BenchLoop(m.Clock(), opts.Timing, c.op)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.name, err)
+		}
+		out = append(out, entry(m, c.name, "MB/s", bwOf(meas, size), attrs))
+	}
+	return out, nil
+}
+
+// BWIPC is §5.2 / Table 3: pipe and loopback-TCP bandwidth. "Pipe
+// bandwidth is measured by creating two processes ... which transfer
+// 50M of data in 64K transfers"; TCP moves 1M page-aligned transfers
+// with 1M socket buffers.
+func BWIPC(m Machine, opts Options) ([]results.Entry, error) {
+	opts = opts.withDefaults()
+	net := m.Net()
+
+	pipeMeas, err := timing.BenchLoop(m.Clock(), opts.Timing, func(n int64) error {
+		for i := int64(0); i < n; i++ {
+			if err := net.PipeTransfer(opts.PipeBytes); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bw_ipc.pipe: %w", err)
+	}
+	tcpMeas, err := timing.BenchLoop(m.Clock(), opts.Timing, func(n int64) error {
+		for i := int64(0); i < n; i++ {
+			if err := net.TCPTransfer(opts.TCPBytes); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bw_ipc.tcp: %w", err)
+	}
+	return []results.Entry{
+		entry(m, "bw_ipc.pipe", "MB/s", bwOf(pipeMeas, opts.PipeBytes),
+			map[string]string{"chunk": fmt.Sprint(opts.PipeBytes)}),
+		entry(m, "bw_ipc.tcp", "MB/s", bwOf(tcpMeas, opts.TCPBytes),
+			map[string]string{"chunk": fmt.Sprint(opts.TCPBytes)}),
+	}, nil
+}
+
+// BWRemoteTCP is Table 4: TCP bandwidth over real media. Backends
+// without remote media (the host) contribute nothing.
+func BWRemoteTCP(m Machine, opts Options) ([]results.Entry, error) {
+	opts = opts.withDefaults()
+	net := m.Net()
+	var out []results.Entry
+	for _, medium := range net.Media() {
+		med := medium
+		meas, err := timing.BenchLoop(m.Clock(), opts.Timing, func(n int64) error {
+			for i := int64(0); i < n; i++ {
+				if err := net.RemoteTCPTransfer(med, opts.TCPBytes); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bw_tcp_remote.%s: %w", med, err)
+		}
+		out = append(out, entry(m, "bw_tcp_remote."+med, "MB/s",
+			bwOf(meas, opts.TCPBytes), map[string]string{"medium": med}))
+	}
+	return out, nil
+}
+
+// BWFile is §5.3 / Table 5: cached-file reread through read() and
+// mmap. "The benchmark here is not an I/O benchmark in that no disk
+// activity is involved. We wanted to measure the overhead of reusing
+// data."
+func BWFile(m Machine, opts Options) ([]results.Entry, error) {
+	opts = opts.withDefaults()
+	fs := m.FS()
+	const name = "bw_file_reread.dat"
+	if err := fs.WriteFile(name, opts.FileSize); err != nil {
+		return nil, err
+	}
+	defer func() { _ = fs.Cleanup() }()
+
+	readMeas, err := timing.BenchLoop(m.Clock(), opts.Timing, func(n int64) error {
+		for i := int64(0); i < n; i++ {
+			if err := fs.ReadCached(name, 0, opts.FileSize); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bw_file.read: %w", err)
+	}
+	mmapMeas, err := timing.BenchLoop(m.Clock(), opts.Timing, func(n int64) error {
+		for i := int64(0); i < n; i++ {
+			if err := fs.MmapRead(name, 0, opts.FileSize); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bw_file.mmap: %w", err)
+	}
+	attrs := map[string]string{"size": fmt.Sprint(opts.FileSize)}
+	return []results.Entry{
+		entry(m, "bw_file.read", "MB/s", bwOf(readMeas, opts.FileSize), attrs),
+		entry(m, "bw_file.mmap", "MB/s", bwOf(mmapMeas, opts.FileSize), attrs),
+	}, nil
+}

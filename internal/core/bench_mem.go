@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/ptime"
+	"repro/internal/results"
+	"repro/internal/timing"
+)
+
+// ChaseStrides are the default stride sizes for the Figure-1 sweep.
+var ChaseStrides = []int64{8, 16, 32, 64, 128, 256, 512}
+
+// MemLatencySweep is §6.2 / Figure 1: back-to-back-load latency over
+// array sizes and strides. "The benchmark varies two parameters, array
+// size and array stride. ... The time reported is pure latency time"
+// (one load-instruction cycle subtracted).
+func MemLatencySweep(m Machine, opts Options) ([]results.Entry, error) {
+	opts = opts.withDefaults()
+	mem := m.Mem()
+	region, err := mem.Alloc(opts.MaxChaseSize)
+	if err != nil {
+		return nil, err
+	}
+	clock := m.Clock()
+	overhead := mem.LoadOverheadNS()
+
+	var series []results.Point
+	for _, stride := range ChaseStrides {
+		for size := int64(512); size <= opts.MaxChaseSize; size *= 2 {
+			if size < 2*stride {
+				continue
+			}
+			if err := mem.FlushCaches(); err != nil && !IsUnsupported(err) {
+				return nil, err
+			}
+			ch, err := mem.NewChase(region, size, stride)
+			if err != nil {
+				return nil, err
+			}
+			lap := ch.Length()
+			if err := ch.Walk(lap); err != nil { // warm
+				return nil, err
+			}
+			loads := 2 * lap
+			if loads < 4096 {
+				loads = 4096
+			}
+			if loads > 1<<21 {
+				loads = 1 << 21
+			}
+			// Min of two timed runs against run-to-run variability.
+			best, err := timing.MinOnce(clock, 2, func() error { return ch.Walk(loads) })
+			if err != nil {
+				return nil, err
+			}
+			ns := best.DivN(loads).Nanoseconds() - overhead
+			if ns < 0 {
+				ns = 0
+			}
+			series = append(series, results.Point{X: float64(size), X2: float64(stride), Y: ns})
+		}
+	}
+	return []results.Entry{{
+		Benchmark: "lat_mem_rd",
+		Machine:   m.Name(),
+		Unit:      "ns",
+		Series:    series,
+		Attrs:     map[string]string{"maxsize": fmt.Sprint(opts.MaxChaseSize)},
+	}}, nil
+}
+
+// CacheParams is Table 6: cache and memory latencies and sizes
+// extracted from the Figure-1 sweep.
+func CacheParams(m Machine, opts Options) ([]results.Entry, error) {
+	sweep, err := MemLatencySweep(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	h, err := analysis.ExtractHierarchy(sweep[0].Series)
+	if err != nil {
+		return nil, fmt.Errorf("cache extraction: %w", err)
+	}
+	out := sweep
+	for i, lvl := range h.Levels {
+		out = append(out,
+			entry(m, fmt.Sprintf("cache.l%d_lat", i+1), "ns", lvl.LatencyNS, nil),
+			entry(m, fmt.Sprintf("cache.l%d_size", i+1), "bytes", float64(lvl.Size), nil),
+		)
+	}
+	out = append(out, entry(m, "cache.mem_lat", "ns", h.MemLatencyNS, nil))
+	if h.LineSize > 0 {
+		out = append(out, entry(m, "cache.line_size", "bytes", float64(h.LineSize), nil))
+	}
+	return out, nil
+}
+
+// CtxSweep is §6.6 / Figure 2 and Table 10: context-switch time as a
+// function of ring size and per-process cache footprint. Following the
+// paper, the cost of passing the token (measured on a single-process
+// ring with hot caches) is subtracted: "the benchmark first measures
+// the cost of passing the token through a ring of pipes in a single
+// process. This overhead time ... is not included in the reported
+// context switch time."
+func CtxSweep(m Machine, opts Options) ([]results.Entry, error) {
+	opts = opts.withDefaults()
+	osops := m.OS()
+
+	// perHop measures the steady-state per-hop time of a ring: one
+	// Pass is a full circulation of `procs` hops.
+	perHop := func(procs int, footprint int64) (float64, error) {
+		ring, err := osops.NewRing(procs, footprint)
+		if err != nil {
+			return 0, err
+		}
+		defer func() { _ = ring.Close() }()
+		meas, err := timing.BenchLoop(m.Clock(), opts.Timing, func(n int64) error {
+			for i := int64(0); i < n; i++ {
+				if err := ring.Pass(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		return meas.PerOpUS() / float64(procs), nil
+	}
+
+	var series []results.Point
+	scalars := map[string]float64{}
+	for _, size := range opts.CtxSizes {
+		overhead, err := perHop(1, size)
+		if err != nil {
+			return nil, fmt.Errorf("lat_ctx overhead (size %d): %w", size, err)
+		}
+		for _, procs := range opts.CtxProcs {
+			per, err := perHop(procs, size)
+			if err != nil {
+				return nil, fmt.Errorf("lat_ctx (%dp, %d): %w", procs, size, err)
+			}
+			ctx := per - overhead
+			if ctx < 0 {
+				ctx = 0
+			}
+			series = append(series, results.Point{X: float64(procs), X2: float64(size), Y: ctx})
+			if (procs == 2 || procs == 8) && (size == 0 || size == 32<<10) {
+				scalars[fmt.Sprintf("lat_ctx.%dp_%dk", procs, size>>10)] = ctx
+			}
+		}
+	}
+	out := []results.Entry{{
+		Benchmark: "lat_ctx",
+		Machine:   m.Name(),
+		Unit:      "us",
+		Series:    series,
+	}}
+	for _, key := range []string{"lat_ctx.2p_0k", "lat_ctx.2p_32k", "lat_ctx.8p_0k", "lat_ctx.8p_32k"} {
+		if v, ok := scalars[key]; ok {
+			out = append(out, entry(m, key, "us", v, nil))
+		}
+	}
+	return out, nil
+}
+
+// memPlateau is a helper for tests and examples: the latency at the
+// largest size/reference stride of a sweep.
+func memPlateau(series []results.Point) ptime.Duration {
+	var maxX float64
+	var y float64
+	for _, p := range series {
+		if p.X2 != 128 {
+			continue
+		}
+		if p.X >= maxX {
+			maxX, y = p.X, p.Y
+		}
+	}
+	return ptime.FromNS(y)
+}

@@ -1,0 +1,227 @@
+// Package core defines the backend-neutral machine interface and
+// implements every lmbench benchmark on top of it.
+//
+// The benchmarks — their sizing rules, warm-up policy, loop structure
+// and reporting — live here exactly once. A Machine supplies the
+// primitive operations (move bytes, chase pointers, enter the kernel,
+// pass tokens, create files); the two implementations are the simulated
+// machines in internal/machines and the real host in internal/host.
+// Because the harness reads time only through timing.Clock, the same
+// benchmark code measures a virtual 1995 DEC Alpha and the live Linux
+// box it runs on.
+package core
+
+import (
+	"errors"
+
+	"repro/internal/timing"
+)
+
+// ErrUnsupported is returned by primitives a backend cannot provide
+// (e.g. raw-disk access or remote network media on the host backend).
+// The suite records such benchmarks as missing rather than failing.
+var ErrUnsupported = errors.New("core: operation not supported by this backend")
+
+// Region is an opaque handle to an allocated memory region of a
+// backend (a simulated physical range or a real slice).
+type Region interface{}
+
+// Chase is a prepared pointer-chase list (§6.2): Walk performs n
+// dependent loads, continuing around the circular list.
+type Chase interface {
+	Walk(n int64) error
+	// Length returns the number of elements in one lap.
+	Length() int64
+}
+
+// MemOps are the memory primitives behind the bandwidth suite (§5.1)
+// and the memory-latency benchmark (§6.2).
+type MemOps interface {
+	// Alloc reserves a region of at least size bytes.
+	Alloc(size int64) (Region, error)
+	// Copy is the portable libc-style bcopy; on machines whose C
+	// library uses hardware assists (SPARC V9 block moves) the backend
+	// routes it accordingly.
+	Copy(dst, src Region, n int64) error
+	// CopyUnrolled is the hand-unrolled load/store word loop, which
+	// never gets hardware assists.
+	CopyUnrolled(dst, src Region, n int64) error
+	// ReadSum is the unrolled load-and-add loop over n bytes.
+	ReadSum(r Region, n int64) error
+	// Write is the unrolled store loop over n bytes.
+	Write(r Region, n int64) error
+	// NewChase builds a pointer chase over the first size bytes of r
+	// with the given stride.
+	NewChase(r Region, size, stride int64) (Chase, error)
+	// LoadOverheadNS is the per-load instruction overhead the paper
+	// subtracts when reporting latency (one processor cycle). Host
+	// backends return their calibrated chase-loop overhead.
+	LoadOverheadNS() float64
+	// FlushCaches makes the next accesses cold, when the backend can
+	// (the simulator); hosts may approximate or return ErrUnsupported.
+	FlushCaches() error
+}
+
+// Ring is the §6.6 context-switch ring.
+type Ring interface {
+	// Pass circulates the token once around the whole ring, i.e.
+	// Procs() process-to-process hops. (A one-process ring is the
+	// paper's overhead reference: the token goes through a pipe and
+	// back to the same process with no context switch.)
+	Pass() error
+	// Procs returns the ring size.
+	Procs() int
+	// Close releases ring resources.
+	Close() error
+}
+
+// OSOps are the kernel primitives of §6.3-6.6.
+type OSOps interface {
+	// NullWrite is one nontrivial kernel entry: write a word to
+	// /dev/null (Table 7).
+	NullWrite() error
+	// SignalInstall installs a signal handler (Table 8).
+	SignalInstall() error
+	// SignalCatch sends the current process a signal and dispatches it
+	// to the installed handler (Table 8).
+	SignalCatch() error
+	// ForkExit creates a child that exits immediately and waits for it
+	// (Table 9).
+	ForkExit() error
+	// ForkExecExit creates a child that execs a trivial program
+	// (Table 9).
+	ForkExecExit() error
+	// ForkShExit runs the trivial program via /bin/sh -c (Table 9).
+	ForkShExit() error
+	// NewRing builds a context-switch ring of nprocs processes each
+	// with a cache footprint of footprint bytes (Figure 2, Table 10).
+	NewRing(nprocs int, footprint int64) (Ring, error)
+}
+
+// NetOps are the IPC and networking primitives of §5.2 and §6.7.
+type NetOps interface {
+	// PipeTransfer moves n bytes through a pipe in the backend's
+	// buffer-sized chunks (Table 3).
+	PipeTransfer(n int64) error
+	// PipeRoundTrip passes a word to a peer process and back
+	// (Table 11).
+	PipeRoundTrip() error
+	// TCPTransfer moves n bytes through a loopback TCP connection
+	// (Table 3).
+	TCPTransfer(n int64) error
+	// TCPRoundTrip exchanges a word over loopback TCP (Table 12).
+	TCPRoundTrip() error
+	// UDPRoundTrip exchanges a word over loopback UDP (Table 13).
+	UDPRoundTrip() error
+	// RPCTCPRoundTrip is TCPRoundTrip through the RPC layer (Table 12).
+	RPCTCPRoundTrip() error
+	// RPCUDPRoundTrip is UDPRoundTrip through the RPC layer (Table 13).
+	RPCUDPRoundTrip() error
+	// TCPConnect establishes and closes one TCP connection (Table 15).
+	TCPConnect() error
+	// RemoteTCPTransfer moves n bytes over the named medium
+	// (Table 4); hosts return ErrUnsupported.
+	RemoteTCPTransfer(medium string, n int64) error
+	// RemoteRoundTrip exchanges a word over the named medium
+	// (Table 14).
+	RemoteRoundTrip(medium string, udp bool) error
+	// Media lists the media RemoteTCPTransfer supports.
+	Media() []string
+}
+
+// FSOps are the file-system primitives of §5.3 and §6.8.
+type FSOps interface {
+	// Create makes one zero-length file (Table 16).
+	Create(name string) error
+	// Delete removes one file (Table 16).
+	Delete(name string) error
+	// WriteFile creates a file of the given size with cached data.
+	WriteFile(name string, size int64) error
+	// ReadCached rereads n bytes of a cached file through read()
+	// (Table 5).
+	ReadCached(name string, off, n int64) error
+	// MmapRead rereads n bytes of a cached file through mmap
+	// (Table 5).
+	MmapRead(name string, off, n int64) error
+	// Cleanup removes all files created by the benchmark.
+	Cleanup() error
+}
+
+// DiskOps is the §6.9 raw-device interface.
+type DiskOps interface {
+	// SeqRead512 performs one sequential 512-byte read from the raw
+	// device; under the paper's assumptions it is served from the
+	// drive's track buffer and measures command overhead (Table 17).
+	SeqRead512() error
+	// Reset rewinds to the start of the device.
+	Reset() error
+}
+
+// Machine is a complete benchmark target.
+type Machine interface {
+	// Name identifies the machine in the results database
+	// ("Linux/i686", "host", ...).
+	Name() string
+	// Clock is the time source the harness measures with.
+	Clock() timing.Clock
+	Mem() MemOps
+	OS() OSOps
+	Net() NetOps
+	FS() FSOps
+	// Disk may return nil when the backend has no raw-disk access.
+	Disk() DiskOps
+}
+
+// Options bundles harness options with benchmark sizing knobs.
+type Options struct {
+	// Timing configures the measurement harness.
+	Timing timing.Options
+	// MemSize is the large-transfer region size; default 8MB
+	// ("the bcopy benchmark by default copies 8 megabytes to 8
+	// megabytes"). Machines with little memory may use 4MB.
+	MemSize int64
+	// FileSize is the reread file size; default 8MB.
+	FileSize int64
+	// PipeBytes is the per-measured-op pipe transfer; default 512KB
+	// (a slice of the paper's 50MB total; the harness loops it).
+	PipeBytes int64
+	// TCPBytes is the per-measured-op TCP transfer; default 1MB.
+	TCPBytes int64
+	// MaxChaseSize caps the Figure-1 sweep; default 8MB.
+	MaxChaseSize int64
+	// FSFiles is the Table 16 file count; default 1000.
+	FSFiles int
+	// CtxProcs are the ring sizes for Figure 2; default 1..20 in
+	// steps (the 1-process ring is the overhead reference).
+	CtxProcs []int
+	// CtxSizes are the footprints for Figure 2; default 0,4K,16K,32K,64K.
+	CtxSizes []int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemSize <= 0 {
+		o.MemSize = 8 << 20
+	}
+	if o.FileSize <= 0 {
+		o.FileSize = 8 << 20
+	}
+	if o.PipeBytes <= 0 {
+		o.PipeBytes = 512 << 10
+	}
+	if o.TCPBytes <= 0 {
+		o.TCPBytes = 1 << 20
+	}
+	if o.MaxChaseSize <= 0 {
+		o.MaxChaseSize = 8 << 20
+	}
+	if o.FSFiles <= 0 {
+		o.FSFiles = 1000
+	}
+	if len(o.CtxProcs) == 0 {
+		o.CtxProcs = []int{2, 4, 8, 12, 16, 20}
+	}
+	if len(o.CtxSizes) == 0 {
+		o.CtxSizes = []int64{0, 4 << 10, 16 << 10, 32 << 10, 64 << 10}
+	}
+	return o
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/results"
+)
+
+func TestShortName(t *testing.T) {
+	cases := []struct {
+		i    int
+		want string
+	}{
+		{0, "a"}, {1, "b"}, {25, "z"}, {26, "aa"}, {27, "ab"},
+		{51, "az"}, {52, "ba"}, {701, "zz"}, {702, "aaa"},
+	}
+	for _, c := range cases {
+		if got := shortName(c.i); got != c.want {
+			t.Errorf("shortName(%d) = %q, want %q", c.i, got, c.want)
+		}
+	}
+	// Uniqueness over the Table-16 range.
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		n := shortName(i)
+		if seen[n] {
+			t.Fatalf("duplicate name %q at %d", n, i)
+		}
+		seen[n] = true
+	}
+}
+
+func TestMemPlateauHelper(t *testing.T) {
+	series := []results.Point{
+		{X: 1024, X2: 128, Y: 10},
+		{X: 2048, X2: 128, Y: 300},
+		{X: 4096, X2: 64, Y: 999}, // wrong stride, ignored
+	}
+	if got := memPlateau(series); got.Nanoseconds() != 300 {
+		t.Errorf("memPlateau = %v, want 300ns", got)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MemSize != 8<<20 || o.FileSize != 8<<20 || o.FSFiles != 1000 {
+		t.Errorf("defaults = %+v", o)
+	}
+	if len(o.CtxProcs) == 0 || len(o.CtxSizes) == 0 {
+		t.Error("ctx defaults missing")
+	}
+	// Explicit values survive.
+	o = Options{MemSize: 123, FSFiles: 7}.withDefaults()
+	if o.MemSize != 123 || o.FSFiles != 7 {
+		t.Errorf("explicit values clobbered: %+v", o)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 18 {
+		t.Fatalf("got %d experiments, want 18 (Tables 2-17 + Figures 1-2)", len(exps))
+	}
+	ids := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil || len(e.Benchmarks) == 0 {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	if _, ok := ExperimentByID("table2"); !ok {
+		t.Error("table2 missing")
+	}
+	if _, ok := ExperimentByID("table99"); ok {
+		t.Error("table99 should not exist")
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/results"
+)
+
+// Experiment ties one of the paper's tables or figures to the code
+// that regenerates it.
+type Experiment struct {
+	// ID is the experiment key, e.g. "table2" or "figure1".
+	ID string
+	// Title is the paper's caption.
+	Title string
+	// Benchmarks lists the result-database keys this experiment
+	// produces (prefix match for per-medium families).
+	Benchmarks []string
+	// Run executes the experiment on a machine.
+	Run func(m Machine, opts Options) ([]results.Entry, error)
+	// RunKey groups experiments that share one Run invocation (e.g.
+	// Figure 2 and Table 10 come from the same sweep). Empty means
+	// the experiment runs on its own.
+	RunKey string
+}
+
+// Experiments returns the paper's evaluation, in presentation order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{
+			ID: "table2", Title: "Table 2. Memory bandwidth (MB/s)",
+			Benchmarks: []string{"bw_mem.bcopy_libc", "bw_mem.bcopy_unrolled", "bw_mem.read", "bw_mem.write"},
+			Run:        BWMem,
+		},
+		{
+			ID: "table3", Title: "Table 3. Pipe and local TCP bandwidth (MB/s)",
+			Benchmarks: []string{"bw_ipc.pipe", "bw_ipc.tcp"},
+			Run:        BWIPC,
+		},
+		{
+			ID: "table4", Title: "Table 4. Remote TCP bandwidth (MB/s)",
+			Benchmarks: []string{"bw_tcp_remote."},
+			Run:        BWRemoteTCP,
+		},
+		{
+			ID: "table5", Title: "Table 5. File vs. memory bandwidth (MB/s)",
+			Benchmarks: []string{"bw_file.read", "bw_file.mmap"},
+			Run:        BWFile,
+		},
+		{
+			ID: "figure1", Title: "Figure 1. Memory latency",
+			Benchmarks: []string{"lat_mem_rd"},
+			Run:        CacheParams, RunKey: "mem_hier",
+		},
+		{
+			ID: "table6", Title: "Table 6. Cache and memory latency (ns)",
+			Benchmarks: []string{"cache."},
+			Run:        CacheParams, RunKey: "mem_hier",
+		},
+		{
+			ID: "table7", Title: "Table 7. Simple system call time (microseconds)",
+			Benchmarks: []string{"lat_syscall"},
+			Run:        LatSyscall,
+		},
+		{
+			ID: "table8", Title: "Table 8. Signal times (microseconds)",
+			Benchmarks: []string{"lat_sig.install", "lat_sig.catch"},
+			Run:        LatSignal,
+		},
+		{
+			ID: "table9", Title: "Table 9. Process creation time (milliseconds)",
+			Benchmarks: []string{"lat_proc.fork", "lat_proc.exec", "lat_proc.sh"},
+			Run:        LatProc,
+		},
+		{
+			ID: "figure2", Title: "Figure 2. Context switch times",
+			Benchmarks: []string{"lat_ctx"},
+			Run:        CtxSweep, RunKey: "ctx",
+		},
+		{
+			ID: "table10", Title: "Table 10. Context switch time (microseconds)",
+			Benchmarks: []string{"lat_ctx.2p_0k", "lat_ctx.2p_32k", "lat_ctx.8p_0k", "lat_ctx.8p_32k"},
+			Run:        CtxSweep, RunKey: "ctx",
+		},
+		{
+			ID: "table11", Title: "Table 11. Pipe latency (microseconds)",
+			Benchmarks: []string{"lat_pipe"},
+			Run:        LatIPC, RunKey: "ipc",
+		},
+		{
+			ID: "table12", Title: "Table 12. TCP latency (microseconds)",
+			Benchmarks: []string{"lat_tcp", "lat_rpc_tcp"},
+			Run:        LatIPC, RunKey: "ipc",
+		},
+		{
+			ID: "table13", Title: "Table 13. UDP latency (microseconds)",
+			Benchmarks: []string{"lat_udp", "lat_rpc_udp"},
+			Run:        LatIPC, RunKey: "ipc",
+		},
+		{
+			ID: "table14", Title: "Table 14. Remote latencies (microseconds)",
+			Benchmarks: []string{"lat_net_remote."},
+			Run:        LatRemote,
+		},
+		{
+			ID: "table15", Title: "Table 15. TCP connect latency (microseconds)",
+			Benchmarks: []string{"lat_connect"},
+			Run:        LatConnect,
+		},
+		{
+			ID: "table16", Title: "Table 16. File system latency (microseconds)",
+			Benchmarks: []string{"lat_fs.create", "lat_fs.delete"},
+			Run:        LatFS,
+		},
+		{
+			ID: "table17", Title: "Table 17. SCSI I/O overhead (microseconds)",
+			Benchmarks: []string{"lat_disk.scsi_overhead"},
+			Run:        LatDisk,
+		},
+	}
+}
+
+// ExperimentByID looks up one experiment.
+func ExperimentByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Suite runs experiments on one machine and records results.
+type Suite struct {
+	M    Machine
+	Opts Options
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+	// Only restricts the run to these experiment IDs (nil = all).
+	Only map[string]bool
+	// Extended adds the §7 future-work experiments (STREAM, dirty/
+	// write latency, TLB, cache-to-cache).
+	Extended bool
+}
+
+// Run executes the selected experiments and merges their entries into
+// db. Experiments a backend does not support (ErrUnsupported) are
+// skipped and reported in the returned skip list; duplicate Run
+// functions (Figure 2 / Table 10 share one) execute once.
+func (s *Suite) Run(db *results.DB) (skipped []string, err error) {
+	ran := map[string]bool{}
+	exps := Experiments()
+	if s.Extended {
+		exps = append(exps, Extensions()...)
+	}
+	for _, exp := range exps {
+		if s.Only != nil && !s.Only[exp.ID] {
+			continue
+		}
+		key := exp.RunKey
+		if key == "" {
+			key = exp.ID
+		}
+		if ran[key] {
+			continue
+		}
+		ran[key] = true
+		if s.Log != nil {
+			fmt.Fprintf(s.Log, "running %-8s %s\n", exp.ID, exp.Title)
+		}
+		entries, runErr := exp.Run(s.M, s.Opts)
+		if runErr != nil {
+			if IsUnsupported(runErr) {
+				skipped = append(skipped, exp.ID)
+				continue
+			}
+			return skipped, fmt.Errorf("%s: %w", exp.ID, runErr)
+		}
+		for _, e := range entries {
+			if err := db.Add(e); err != nil {
+				return skipped, err
+			}
+		}
+	}
+	return skipped, nil
+}

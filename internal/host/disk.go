@@ -1,0 +1,95 @@
+package host
+
+import (
+	"os"
+	"path/filepath"
+	"syscall"
+
+	"repro/internal/core"
+)
+
+// diskOps approximates the paper's raw-device experiment with O_DIRECT
+// reads from a scratch file: page-cache bypass makes every 512-byte
+// read a real block-layer request, so sequential reads exercise the
+// device's (or virtio layer's) request path the way Table 17 intends.
+// When O_DIRECT is unavailable the backend reports no disk.
+type diskOps struct {
+	f    *os.File
+	buf  []byte
+	pos  int64
+	size int64
+}
+
+var _ core.DiskOps = (*diskOps)(nil)
+
+// scratchSize is the backing-file size; reads wrap within it.
+const scratchSize = 8 << 20
+
+// newDiskOps returns nil when the environment cannot do O_DIRECT I/O.
+func newDiskOps(dir string) *diskOps {
+	path := filepath.Join(dir, "lmdd-scratch.dat")
+	// Populate through the normal path first.
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o600)
+	if err != nil {
+		return nil
+	}
+	chunk := make([]byte, 64<<10)
+	for off := int64(0); off < scratchSize; off += int64(len(chunk)) {
+		if _, err := f.WriteAt(chunk, off); err != nil {
+			_ = f.Close()
+			return nil
+		}
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return nil
+	}
+	_ = f.Close()
+
+	fd, err := syscall.Open(path, syscall.O_RDONLY|syscall.O_DIRECT, 0)
+	if err != nil {
+		return nil
+	}
+	direct := os.NewFile(uintptr(fd), path)
+	// O_DIRECT needs an aligned buffer; mmap returns page-aligned
+	// memory without unsafe tricks.
+	buf, err := syscall.Mmap(-1, 0, 4096, syscall.PROT_READ|syscall.PROT_WRITE,
+		syscall.MAP_PRIVATE|syscall.MAP_ANON)
+	if err != nil {
+		_ = direct.Close()
+		return nil
+	}
+	d := &diskOps{f: direct, buf: buf, size: scratchSize}
+	// Probe one read; some file systems accept O_DIRECT on open but
+	// fail at read time.
+	if err := d.SeqRead512(); err != nil {
+		_ = d.close()
+		return nil
+	}
+	d.pos = 0
+	return d
+}
+
+func (d *diskOps) close() error {
+	_ = syscall.Munmap(d.buf)
+	return d.f.Close()
+}
+
+// SeqRead512 reads the next 512-byte block, wrapping at the end.
+func (d *diskOps) SeqRead512() error {
+	if d.pos+512 > d.size {
+		d.pos = 0
+	}
+	// O_DIRECT wants length and offset aligned to the logical block.
+	if _, err := d.f.ReadAt(d.buf[:512], d.pos); err != nil {
+		return err
+	}
+	d.pos += 512
+	return nil
+}
+
+// Reset rewinds to the start.
+func (d *diskOps) Reset() error {
+	d.pos = 0
+	return nil
+}

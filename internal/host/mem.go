@@ -1,0 +1,222 @@
+package host
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Sink defeats dead-code elimination: every measurement loop deposits
+// its result here, mirroring lmbench's trick of passing the sum "as an
+// unused argument to the 'finish timing' function".
+var Sink uint64
+
+// hostRegion is a real allocation viewed as 8-byte words (the paper's
+// loops use the native word; on this backend that is 64 bits).
+type hostRegion struct {
+	words []uint64
+}
+
+type memOps struct {
+	flushBuf []uint64
+
+	// STREAM arrays (ext.go), grown lazily.
+	streamA, streamB, streamC []float64
+}
+
+var _ core.MemOps = (*memOps)(nil)
+
+func (mo *memOps) Alloc(size int64) (core.Region, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("host: non-positive allocation")
+	}
+	n := (size + 7) / 8
+	return &hostRegion{words: make([]uint64, n)}, nil
+}
+
+func checkRegion(r core.Region, bytes int64) (*hostRegion, int, error) {
+	hr, ok := r.(*hostRegion)
+	if !ok || hr == nil {
+		return nil, 0, fmt.Errorf("host: foreign region handle")
+	}
+	w := int(bytes / 8)
+	if bytes < 0 || w > len(hr.words) {
+		return nil, 0, fmt.Errorf("host: access of %d bytes outside region of %d", bytes, len(hr.words)*8)
+	}
+	return hr, w, nil
+}
+
+// Copy is the libc-equivalent copy: Go's copy builtin lowers to an
+// optimized memmove, the same role libc bcopy plays in the paper.
+func (mo *memOps) Copy(dst, src core.Region, n int64) error {
+	d, w, err := checkRegion(dst, n)
+	if err != nil {
+		return err
+	}
+	s, _, err := checkRegion(src, n)
+	if err != nil {
+		return err
+	}
+	copy(d.words[:w], s.words[:w])
+	return nil
+}
+
+// CopyUnrolled is the hand-unrolled aligned word loop of §5.1.
+func (mo *memOps) CopyUnrolled(dst, src core.Region, n int64) error {
+	d, w, err := checkRegion(dst, n)
+	if err != nil {
+		return err
+	}
+	s, _, err := checkRegion(src, n)
+	if err != nil {
+		return err
+	}
+	dw, sw := d.words[:w], s.words[:w]
+	i := 0
+	for ; i+8 <= len(dw); i += 8 {
+		dw[i+0] = sw[i+0]
+		dw[i+1] = sw[i+1]
+		dw[i+2] = sw[i+2]
+		dw[i+3] = sw[i+3]
+		dw[i+4] = sw[i+4]
+		dw[i+5] = sw[i+5]
+		dw[i+6] = sw[i+6]
+		dw[i+7] = sw[i+7]
+	}
+	for ; i < len(dw); i++ {
+		dw[i] = sw[i]
+	}
+	return nil
+}
+
+// ReadSum is the unrolled load-and-add loop; "The memory contents are
+// added up because almost all C compilers would optimize out the whole
+// loop" — Go's compiler needs the same treatment, hence Sink.
+func (mo *memOps) ReadSum(r core.Region, n int64) error {
+	hr, w, err := checkRegion(r, n)
+	if err != nil {
+		return err
+	}
+	ws := hr.words[:w]
+	var s0, s1, s2, s3 uint64
+	i := 0
+	for ; i+8 <= len(ws); i += 8 {
+		s0 += ws[i+0] + ws[i+4]
+		s1 += ws[i+1] + ws[i+5]
+		s2 += ws[i+2] + ws[i+6]
+		s3 += ws[i+3] + ws[i+7]
+	}
+	for ; i < len(ws); i++ {
+		s0 += ws[i]
+	}
+	Sink += s0 + s1 + s2 + s3
+	return nil
+}
+
+// Write is the unrolled store loop.
+func (mo *memOps) Write(r core.Region, n int64) error {
+	hr, w, err := checkRegion(r, n)
+	if err != nil {
+		return err
+	}
+	ws := hr.words[:w]
+	const v = 0x0101010101010101
+	i := 0
+	for ; i+8 <= len(ws); i += 8 {
+		ws[i+0] = v
+		ws[i+1] = v
+		ws[i+2] = v
+		ws[i+3] = v
+		ws[i+4] = v
+		ws[i+5] = v
+		ws[i+6] = v
+		ws[i+7] = v
+	}
+	for ; i < len(ws); i++ {
+		ws[i] = v
+	}
+	return nil
+}
+
+// hostChase is the §6.2 pointer chase: the chain lives in the region
+// itself (each element holds the index of the next), exactly like the
+// C original's p = *p walk.
+type hostChase struct {
+	words  []uint64
+	length int64
+	cur    uint64
+}
+
+func (mo *memOps) NewChase(r core.Region, size, stride int64) (core.Chase, error) {
+	hr, _, err := checkRegion(r, size)
+	if err != nil {
+		return nil, err
+	}
+	if stride < 8 {
+		stride = 8
+	}
+	strideW := stride / 8
+	nWords := size / 8
+	if nWords < strideW {
+		nWords = strideW
+	}
+	elems := nWords / strideW
+	if elems < 1 {
+		elems = 1
+	}
+	ws := hr.words[:nWords]
+	// Element i sits at word i*strideW and points at element i+1
+	// (wrapping), giving the same forward-stride walk the benchmark
+	// describes.
+	for i := int64(0); i < elems; i++ {
+		next := (i + 1) % elems
+		ws[i*strideW] = uint64(next * strideW)
+	}
+	return &hostChase{words: ws, length: elems}, nil
+}
+
+func (c *hostChase) Walk(n int64) error {
+	p := c.cur
+	ws := c.words
+	i := int64(0)
+	// Unrolled dependent-load chain.
+	for ; i+8 <= n; i += 8 {
+		p = ws[p]
+		p = ws[p]
+		p = ws[p]
+		p = ws[p]
+		p = ws[p]
+		p = ws[p]
+		p = ws[p]
+		p = ws[p]
+	}
+	for ; i < n; i++ {
+		p = ws[p]
+	}
+	c.cur = p
+	Sink += p
+	return nil
+}
+
+func (c *hostChase) Length() int64 { return c.length }
+
+// LoadOverheadNS: the Go loop body is a single dependent load with no
+// separable instruction overhead to subtract, so report zero and let
+// the raw per-load time stand (the paper's one-cycle adjustment is
+// below the noise of a host run anyway).
+func (mo *memOps) LoadOverheadNS() float64 { return 0 }
+
+// FlushCaches approximates a cache flush by streaming a buffer much
+// larger than any last-level cache.
+func (mo *memOps) FlushCaches() error {
+	if mo.flushBuf == nil {
+		mo.flushBuf = make([]uint64, (64<<20)/8)
+	}
+	var s uint64
+	for i := range mo.flushBuf {
+		mo.flushBuf[i] += 1
+		s += mo.flushBuf[i]
+	}
+	Sink += s
+	return nil
+}

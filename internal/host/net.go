@@ -1,0 +1,460 @@
+package host
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rpcx"
+)
+
+// RPC identity of the built-in echo service.
+const (
+	rpcProg  = 0x20000199
+	rpcVers  = 1
+	procEcho = 1
+)
+
+// netOps implements core.NetOps over loopback sockets and pipes. All
+// servers and connections are created lazily on first use and reused,
+// so measured loops see steady-state costs.
+type netOps struct {
+	mu sync.Mutex
+
+	// Pipe bandwidth: writer end + a draining goroutine.
+	bwPipeW *os.File
+	bwPipeR *os.File
+
+	// Pipe latency: a pair of pipes with an echo thread.
+	latPipeAW, latPipeAR *os.File // us -> peer
+	latPipeBW, latPipeBR *os.File // peer -> us
+
+	// TCP sink (bandwidth) and echo (latency) connections.
+	sinkLn  net.Listener
+	sinkC   net.Conn
+	echoLn  net.Listener
+	echoC   net.Conn
+	connLn  net.Listener // connect benchmark target
+	udpC    net.Conn     // UDP echo client side
+	udpSrv  net.PacketConn
+	rpcTCP  *rpcx.Client
+	rpcUDP  *rpcx.Client
+	rpcLnT  net.Listener
+	rpcLnU  net.PacketConn
+	buf     []byte
+	ackBuf  [1]byte
+	wordBuf [4]byte
+
+	closers []io.Closer
+}
+
+var _ core.NetOps = (*netOps)(nil)
+
+func newNetOps() *netOps {
+	return &netOps{buf: make([]byte, 1<<20)}
+}
+
+func (no *netOps) close() error {
+	no.mu.Lock()
+	defer no.mu.Unlock()
+	for _, c := range no.closers {
+		_ = c.Close()
+	}
+	no.closers = nil
+	return nil
+}
+
+func (no *netOps) track(c io.Closer) { no.closers = append(no.closers, c) }
+
+// ensureBWPipe sets up the pipe + drain goroutine.
+func (no *netOps) ensureBWPipe() error {
+	if no.bwPipeW != nil {
+		return nil
+	}
+	r, w, err := os.Pipe()
+	if err != nil {
+		return err
+	}
+	no.bwPipeR, no.bwPipeW = r, w
+	no.track(r)
+	no.track(w)
+	go func() {
+		buf := make([]byte, 64<<10)
+		for {
+			if _, err := r.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// PipeTransfer writes n bytes into the drained pipe in 64K chunks (the
+// paper's pipe-bandwidth transfer unit).
+func (no *netOps) PipeTransfer(n int64) error {
+	if n <= 0 {
+		return fmt.Errorf("host: pipe transfer needs positive size")
+	}
+	no.mu.Lock()
+	err := no.ensureBWPipe()
+	no.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	chunk := no.buf[:64<<10]
+	for off := int64(0); off < n; off += int64(len(chunk)) {
+		c := chunk
+		if rem := n - off; rem < int64(len(c)) {
+			c = c[:rem]
+		}
+		if _, err := no.bwPipeW.Write(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (no *netOps) ensureLatPipes() error {
+	if no.latPipeAW != nil {
+		return nil
+	}
+	ar, aw, err := os.Pipe()
+	if err != nil {
+		return err
+	}
+	br, bw, err := os.Pipe()
+	if err != nil {
+		_ = ar.Close()
+		_ = aw.Close()
+		return err
+	}
+	no.latPipeAR, no.latPipeAW = ar, aw
+	no.latPipeBR, no.latPipeBW = br, bw
+	no.track(ar)
+	no.track(aw)
+	no.track(br)
+	no.track(bw)
+	go func() {
+		var b [1]byte
+		for {
+			if _, err := ar.Read(b[:]); err != nil {
+				return
+			}
+			if _, err := bw.Write(b[:]); err != nil {
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// PipeRoundTrip is Table 11: a word to the peer and back.
+func (no *netOps) PipeRoundTrip() error {
+	no.mu.Lock()
+	err := no.ensureLatPipes()
+	no.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	var b [1]byte
+	if _, err := no.latPipeAW.Write(b[:]); err != nil {
+		return err
+	}
+	_, err = no.latPipeBR.Read(b[:])
+	return err
+}
+
+// ensureSink starts the TCP bandwidth sink: 8-byte length header, the
+// payload, then a 1-byte ack.
+func (no *netOps) ensureSink() error {
+	if no.sinkC != nil {
+		return nil
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	no.sinkLn = ln
+	no.track(ln)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer func() { _ = c.Close() }()
+				var hdr [8]byte
+				for {
+					if _, err := io.ReadFull(c, hdr[:]); err != nil {
+						return
+					}
+					n := int64(binary.BigEndian.Uint64(hdr[:]))
+					if _, err := io.CopyN(io.Discard, c, n); err != nil {
+						return
+					}
+					if _, err := c.Write(hdr[:1]); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return err
+	}
+	no.sinkC = c
+	no.track(c)
+	return nil
+}
+
+// TCPTransfer is Table 3's loopback TCP transfer.
+func (no *netOps) TCPTransfer(n int64) error {
+	if n <= 0 {
+		return fmt.Errorf("host: tcp transfer needs positive size")
+	}
+	no.mu.Lock()
+	err := no.ensureSink()
+	no.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(n))
+	if _, err := no.sinkC.Write(hdr[:]); err != nil {
+		return err
+	}
+	for off := int64(0); off < n; off += int64(len(no.buf)) {
+		c := no.buf
+		if rem := n - off; rem < int64(len(c)) {
+			c = c[:rem]
+		}
+		if _, err := no.sinkC.Write(c); err != nil {
+			return err
+		}
+	}
+	_, err = io.ReadFull(no.sinkC, no.ackBuf[:])
+	return err
+}
+
+func (no *netOps) ensureEcho() error {
+	if no.echoC != nil {
+		return nil
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	no.echoLn = ln
+	no.track(ln)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer func() { _ = c.Close() }()
+				var b [4]byte
+				for {
+					if _, err := io.ReadFull(c, b[:]); err != nil {
+						return
+					}
+					if _, err := c.Write(b[:]); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	no.echoC = c
+	no.track(c)
+	return nil
+}
+
+// TCPRoundTrip is Table 12: exchange a word over loopback TCP.
+func (no *netOps) TCPRoundTrip() error {
+	no.mu.Lock()
+	err := no.ensureEcho()
+	no.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if _, err := no.echoC.Write(no.wordBuf[:]); err != nil {
+		return err
+	}
+	_, err = io.ReadFull(no.echoC, no.wordBuf[:])
+	return err
+}
+
+func (no *netOps) ensureUDP() error {
+	if no.udpC != nil {
+		return nil
+	}
+	srv, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	no.udpSrv = srv
+	no.track(srv)
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			n, addr, err := srv.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			if _, err := srv.WriteTo(buf[:n], addr); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := net.Dial("udp", srv.LocalAddr().String())
+	if err != nil {
+		return err
+	}
+	no.udpC = c
+	no.track(c)
+	return nil
+}
+
+// UDPRoundTrip is Table 13: exchange a word over loopback UDP.
+func (no *netOps) UDPRoundTrip() error {
+	no.mu.Lock()
+	err := no.ensureUDP()
+	no.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if _, err := no.udpC.Write(no.wordBuf[:]); err != nil {
+		return err
+	}
+	_, err = no.udpC.Read(no.wordBuf[:])
+	return err
+}
+
+func (no *netOps) ensureRPC() error {
+	if no.rpcTCP != nil {
+		return nil
+	}
+	srv := rpcx.NewServer(0)
+	srv.Register(rpcProg, rpcVers, procEcho, func(args []byte) ([]byte, error) {
+		return args, nil
+	})
+	lt, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	lu, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		_ = lt.Close()
+		return err
+	}
+	no.rpcLnT, no.rpcLnU = lt, lu
+	no.track(lt)
+	no.track(lu)
+	go func() { _ = srv.ServeTCP(lt) }()
+	go func() { _ = srv.ServeUDP(lu) }()
+	ct, err := rpcx.DialTCP(lt.Addr().String(), rpcProg, rpcVers)
+	if err != nil {
+		return err
+	}
+	cu, err := rpcx.DialUDP(lu.LocalAddr().String(), rpcProg, rpcVers)
+	if err != nil {
+		_ = ct.Close()
+		return err
+	}
+	no.rpcTCP, no.rpcUDP = ct, cu
+	no.track(ct)
+	no.track(cu)
+	return nil
+}
+
+// RPCTCPRoundTrip layers the word exchange through the RPC machinery
+// (XDR framing, record marking), the paper's RPC/TCP row.
+func (no *netOps) RPCTCPRoundTrip() error {
+	no.mu.Lock()
+	err := no.ensureRPC()
+	no.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	_, err = no.rpcTCP.Call(procEcho, no.wordBuf[:])
+	return err
+}
+
+// RPCUDPRoundTrip is the RPC/UDP row.
+func (no *netOps) RPCUDPRoundTrip() error {
+	no.mu.Lock()
+	err := no.ensureRPC()
+	no.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	_, err = no.rpcUDP.Call(procEcho, no.wordBuf[:])
+	return err
+}
+
+func (no *netOps) ensureConnectTarget() error {
+	if no.connLn != nil {
+		return nil
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	no.connLn = ln
+	no.track(ln)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			_ = c.Close()
+		}
+	}()
+	return nil
+}
+
+// TCPConnect is Table 15: connect and close ("The socket is closed
+// after each connect").
+func (no *netOps) TCPConnect() error {
+	no.mu.Lock()
+	err := no.ensureConnectTarget()
+	no.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	c, err := net.Dial("tcp", no.connLn.Addr().String())
+	if err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+// RemoteTCPTransfer requires real network hardware the host backend
+// does not manage.
+func (no *netOps) RemoteTCPTransfer(medium string, n int64) error {
+	return fmt.Errorf("host: remote medium %q: %w", medium, core.ErrUnsupported)
+}
+
+// RemoteRoundTrip requires real network hardware.
+func (no *netOps) RemoteRoundTrip(medium string, udp bool) error {
+	return fmt.Errorf("host: remote medium %q: %w", medium, core.ErrUnsupported)
+}
+
+// Media reports no remote media on the host backend.
+func (no *netOps) Media() []string { return nil }

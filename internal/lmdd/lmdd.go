@@ -1,0 +1,279 @@
+// Package lmdd is the suite's I/O engine, patterned after the lmdd
+// tool the paper describes in §6.9: "lmdd, which is patterned after
+// the Unix utility dd, measures both sequential and random I/O,
+// optionally generates patterns on output and checks them on input
+// ... Many I/O benchmarks can be trivially replaced with a perl script
+// wrapped around lmdd."
+//
+// The engine works over io.ReaderAt/io.WriterAt so the same code moves
+// data between real files, raw devices, and in-memory test targets.
+package lmdd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/timing"
+)
+
+// Input is a readable target with a known size.
+type Input interface {
+	io.ReaderAt
+	Size() int64
+}
+
+// Options configures one transfer.
+type Options struct {
+	// BlockSize is the per-operation transfer size (default 8192;
+	// Table 17 uses 512).
+	BlockSize int
+	// Count limits the number of blocks moved; 0 means until the end
+	// of the input (or is required for output-only runs).
+	Count int64
+	// Skip skips this many input blocks before starting.
+	Skip int64
+	// Random seeks to a random block before every operation instead
+	// of proceeding sequentially.
+	Random bool
+	// Seed makes random runs reproducible (0 uses a fixed default).
+	Seed int64
+	// Pattern fills output blocks with the deterministic word pattern
+	// so a later run can verify them.
+	Pattern bool
+	// Check verifies the word pattern on input blocks.
+	Check bool
+	// Clock is the time source (nil = wall clock). Supplying a
+	// simulated machine's virtual clock lets lmdd time I/O against a
+	// simulated disk.
+	Clock timing.Clock
+}
+
+func (o Options) withDefaults() Options {
+	if o.BlockSize <= 0 {
+		o.BlockSize = 8192
+	}
+	if o.Seed == 0 {
+		o.Seed = 4242
+	}
+	if o.Clock == nil {
+		o.Clock = timing.NewWallClock()
+	}
+	return o
+}
+
+// Result reports one run.
+type Result struct {
+	// Bytes moved and Ops performed.
+	Bytes int64
+	Ops   int64
+	// Elapsed wall time.
+	Elapsed time.Duration
+	// PatternErrors counts words that failed verification.
+	PatternErrors int64
+}
+
+// MBps returns throughput in the paper's 2^20-bytes-per-second unit.
+func (r Result) MBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / (1 << 20) / r.Elapsed.Seconds()
+}
+
+// String formats the result the way lmdd reports.
+func (r Result) String() string {
+	return fmt.Sprintf("%d bytes in %.4f secs, %.2f MB/sec (%d ops)",
+		r.Bytes, r.Elapsed.Seconds(), r.MBps(), r.Ops)
+}
+
+// patternFill writes the word pattern for a block at byte offset off:
+// each 4-byte big-endian word holds its own word index in the stream.
+func patternFill(buf []byte, off int64) {
+	word := off / 4
+	for i := 0; i+4 <= len(buf); i += 4 {
+		binary.BigEndian.PutUint32(buf[i:], uint32(word))
+		word++
+	}
+}
+
+// patternCheck counts mismatching words in a block read from offset off.
+func patternCheck(buf []byte, off int64) int64 {
+	word := off / 4
+	var bad int64
+	for i := 0; i+4 <= len(buf); i += 4 {
+		if binary.BigEndian.Uint32(buf[i:]) != uint32(word) {
+			bad++
+		}
+		word++
+	}
+	return bad
+}
+
+// Read performs a read-only run over src: sequential (or random)
+// BlockSize reads, optionally verifying the pattern.
+func Read(src Input, o Options) (Result, error) {
+	o = o.withDefaults()
+	size := src.Size()
+	if size <= 0 {
+		return Result{}, errors.New("lmdd: empty input")
+	}
+	bs := int64(o.BlockSize)
+	blocks := size / bs
+	if blocks == 0 {
+		return Result{}, fmt.Errorf("lmdd: input smaller than one %d-byte block", o.BlockSize)
+	}
+	count := o.Count
+	if count <= 0 {
+		count = blocks - o.Skip
+	}
+	if o.Skip >= blocks {
+		return Result{}, errors.New("lmdd: skip beyond end of input")
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	buf := make([]byte, o.BlockSize)
+	res := Result{}
+	start := o.Clock.Now()
+	pos := o.Skip
+	for i := int64(0); i < count; i++ {
+		if o.Random {
+			pos = rng.Int63n(blocks)
+		} else if pos >= blocks {
+			break
+		}
+		off := pos * bs
+		n, err := src.ReadAt(buf, off)
+		if err != nil && err != io.EOF {
+			return res, fmt.Errorf("lmdd: read at %d: %w", off, err)
+		}
+		if o.Check {
+			res.PatternErrors += patternCheck(buf[:n], off)
+		}
+		res.Bytes += int64(n)
+		res.Ops++
+		if !o.Random {
+			pos++
+		}
+	}
+	res.Elapsed = (o.Clock.Now() - start).Std()
+	return res, nil
+}
+
+// Write performs a write-only run to dst: Count blocks, sequential or
+// random (random needs Limit to bound the offsets).
+func Write(dst io.WriterAt, limit int64, o Options) (Result, error) {
+	o = o.withDefaults()
+	if o.Count <= 0 {
+		return Result{}, errors.New("lmdd: write run needs a count")
+	}
+	bs := int64(o.BlockSize)
+	if o.Random && limit < bs {
+		return Result{}, errors.New("lmdd: random write needs a limit of at least one block")
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	buf := make([]byte, o.BlockSize)
+	res := Result{}
+	start := o.Clock.Now()
+	pos := o.Skip
+	for i := int64(0); i < o.Count; i++ {
+		if o.Random {
+			pos = rng.Int63n(limit / bs)
+		}
+		off := pos * bs
+		if o.Pattern {
+			patternFill(buf, off)
+		}
+		n, err := dst.WriteAt(buf, off)
+		if err != nil {
+			return res, fmt.Errorf("lmdd: write at %d: %w", off, err)
+		}
+		res.Bytes += int64(n)
+		res.Ops++
+		if !o.Random {
+			pos++
+		}
+	}
+	res.Elapsed = (o.Clock.Now() - start).Std()
+	return res, nil
+}
+
+// Copy moves Count blocks (or all of src) from src to dst.
+func Copy(dst io.WriterAt, src Input, o Options) (Result, error) {
+	o = o.withDefaults()
+	size := src.Size()
+	bs := int64(o.BlockSize)
+	blocks := size / bs
+	if blocks == 0 {
+		return Result{}, fmt.Errorf("lmdd: input smaller than one %d-byte block", o.BlockSize)
+	}
+	count := o.Count
+	if count <= 0 || count > blocks-o.Skip {
+		count = blocks - o.Skip
+	}
+	if count <= 0 {
+		return Result{}, errors.New("lmdd: nothing to copy")
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	buf := make([]byte, o.BlockSize)
+	res := Result{}
+	start := o.Clock.Now()
+	pos := o.Skip
+	for i := int64(0); i < count; i++ {
+		if o.Random {
+			pos = rng.Int63n(blocks)
+		}
+		off := pos * bs
+		n, err := src.ReadAt(buf, off)
+		if err != nil && err != io.EOF {
+			return res, fmt.Errorf("lmdd: read at %d: %w", off, err)
+		}
+		if o.Check {
+			res.PatternErrors += patternCheck(buf[:n], off)
+		}
+		if _, err := dst.WriteAt(buf[:n], off); err != nil {
+			return res, fmt.Errorf("lmdd: write at %d: %w", off, err)
+		}
+		res.Bytes += int64(n)
+		res.Ops++
+		if !o.Random {
+			pos++
+		}
+	}
+	res.Elapsed = (o.Clock.Now() - start).Std()
+	return res, nil
+}
+
+// MemTarget is an in-memory Input/WriterAt for tests and the
+// "internal" device of the original lmdd.
+type MemTarget struct {
+	Data []byte
+}
+
+// NewMemTarget allocates an n-byte target.
+func NewMemTarget(n int64) *MemTarget { return &MemTarget{Data: make([]byte, n)} }
+
+// Size implements Input.
+func (m *MemTarget) Size() int64 { return int64(len(m.Data)) }
+
+// ReadAt implements io.ReaderAt.
+func (m *MemTarget) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off >= int64(len(m.Data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.Data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt.
+func (m *MemTarget) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 || off+int64(len(p)) > int64(len(m.Data)) {
+		return 0, errors.New("lmdd: write outside target")
+	}
+	return copy(m.Data[off:], p), nil
+}

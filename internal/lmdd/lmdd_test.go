@@ -1,0 +1,156 @@
+package lmdd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPatternRoundTrip(t *testing.T) {
+	dst := NewMemTarget(1 << 20)
+	res, err := Write(dst, dst.Size(), Options{BlockSize: 4096, Count: 256, Pattern: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 1<<20 || res.Ops != 256 {
+		t.Errorf("write result = %+v", res)
+	}
+	vres, err := Read(dst, Options{BlockSize: 4096, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vres.PatternErrors != 0 {
+		t.Errorf("pattern errors = %d, want 0", vres.PatternErrors)
+	}
+	// Corrupt one word and verify detection.
+	dst.Data[8192] ^= 0xff
+	vres, err = Read(dst, Options{BlockSize: 4096, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vres.PatternErrors != 1 {
+		t.Errorf("pattern errors = %d, want 1", vres.PatternErrors)
+	}
+}
+
+func TestCopyPreservesData(t *testing.T) {
+	src := NewMemTarget(256 << 10)
+	_, err := Write(src, src.Size(), Options{BlockSize: 8192, Count: 32, Pattern: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewMemTarget(256 << 10)
+	res, err := Copy(dst, src, Options{BlockSize: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 256<<10 {
+		t.Errorf("copied %d bytes", res.Bytes)
+	}
+	v, err := Read(dst, Options{BlockSize: 8192, Check: true})
+	if err != nil || v.PatternErrors != 0 {
+		t.Errorf("copy corrupted data: %+v, %v", v, err)
+	}
+}
+
+func TestRandomReproducible(t *testing.T) {
+	src := NewMemTarget(1 << 20)
+	_, _ = Write(src, src.Size(), Options{BlockSize: 4096, Count: 256, Pattern: true})
+	a, err := Read(src, Options{BlockSize: 4096, Count: 100, Random: true, Seed: 7, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Read(src, Options{BlockSize: 4096, Count: 100, Random: true, Seed: 7, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bytes != b.Bytes || a.Ops != b.Ops || a.PatternErrors != b.PatternErrors {
+		t.Errorf("random runs differ: %+v vs %+v", a, b)
+	}
+	if a.PatternErrors != 0 {
+		t.Errorf("random pattern reads failed: %d", a.PatternErrors)
+	}
+}
+
+func TestSkip(t *testing.T) {
+	src := NewMemTarget(64 << 10)
+	_, _ = Write(src, src.Size(), Options{BlockSize: 4096, Count: 16, Pattern: true})
+	res, err := Read(src, Options{BlockSize: 4096, Skip: 8, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 8 {
+		t.Errorf("ops = %d, want 8 after skipping half", res.Ops)
+	}
+	if _, err := Read(src, Options{BlockSize: 4096, Skip: 100}); err == nil {
+		t.Error("skip beyond end should error")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Read(NewMemTarget(0), Options{}); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := Read(NewMemTarget(100), Options{BlockSize: 4096}); err == nil {
+		t.Error("input smaller than a block should error")
+	}
+	if _, err := Write(NewMemTarget(1<<20), 1<<20, Options{}); err == nil {
+		t.Error("write without count should error")
+	}
+	if _, err := Write(NewMemTarget(1<<20), 0, Options{Count: 1, Random: true}); err == nil {
+		t.Error("random write without limit should error")
+	}
+	if _, err := Copy(NewMemTarget(100), NewMemTarget(100), Options{BlockSize: 4096}); err == nil {
+		t.Error("copy of sub-block input should error")
+	}
+}
+
+func TestMemTargetBounds(t *testing.T) {
+	m := NewMemTarget(100)
+	if _, err := m.WriteAt(make([]byte, 200), 0); err == nil {
+		t.Error("oversized write should error")
+	}
+	if _, err := m.ReadAt(make([]byte, 10), 200); err == nil {
+		t.Error("read past end should error")
+	}
+	n, err := m.ReadAt(make([]byte, 200), 50)
+	if n != 50 || err == nil {
+		t.Errorf("short read = %d, %v", n, err)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Bytes: 1 << 20, Ops: 128, Elapsed: 1e9}
+	if r.MBps() != 1 {
+		t.Errorf("MBps = %v", r.MBps())
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+	if (Result{}).MBps() != 0 {
+		t.Error("zero-elapsed MBps should be 0")
+	}
+}
+
+// Property: pattern fill/check agree for any block offset and size.
+func TestQuickPattern(t *testing.T) {
+	f := func(offRaw uint16, sizeRaw uint8) bool {
+		off := int64(offRaw) * 4
+		size := (int(sizeRaw)%64 + 1) * 4
+		buf := make([]byte, size)
+		patternFill(buf, off)
+		return patternCheck(buf, off) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: checking with the wrong offset finds errors (the pattern
+// encodes position).
+func TestQuickPatternPositional(t *testing.T) {
+	buf := make([]byte, 64)
+	patternFill(buf, 0)
+	if patternCheck(buf, 4) == 0 {
+		t.Error("offset-shifted check should fail")
+	}
+}

@@ -1,0 +1,344 @@
+package machines
+
+import (
+	"repro/internal/simfs"
+	"repro/internal/simmem"
+	"repro/internal/simnet"
+)
+
+// cache is shorthand for a cache level.
+func cache(name string, size int64, line, assoc int, latNS float64) simmem.CacheConfig {
+	return simmem.CacheConfig{Name: name, Size: size, LineSize: line, Assoc: assoc, LatencyNS: latNS}
+}
+
+// catalog holds the built-in Table-1 machine profiles. Values are
+// transcribed from the paper's tables (see the Profile doc comment for
+// the source of each field); the scan is noisy in places, so a few
+// entries are best-effort reconstructions, flagged in EXPERIMENTS.md.
+var catalog = []Profile{
+	{
+		Name: "Linux/i686", OSName: "Linux 1.3.37", CPUName: "Pentium Pro",
+		Year: 1995, PriceK: 7, SPECInt: 320,
+		MHz: 200, IssueWidth: 3,
+		Caches: []simmem.CacheConfig{
+			cache("L1", 8<<10, 32, 2, 10),
+			cache("L2", 256<<10, 32, 4, 30),
+		},
+		MemLatNS: 270, ReadBW: 208, WriteBW: 56,
+		TLB:       simmem.TLBConfig{Entries: 64, PageSize: 4096, Assoc: 4, MissNS: 120},
+		SyscallUS: 3, SigInstallUS: 4, SigHandlerUS: 22,
+		ForkMS: 0.4, ForkExecMS: 5, ForkShMS: 14,
+		CtxSwitchUS: 6,
+		TCPLatUS:    216, UDPLatUS: 93, RPCTCPLatUS: 346, RPCUDPLatUS: 180,
+		ConnectUS: 263, ChecksumMBs: 60,
+		Media:  []simnet.Medium{simnet.Ether10},
+		FSName: "EXT2FS", FSMode: simfs.ModeAsync, FSCreateUS: 751, FSDeleteUS: 45,
+		MmapFaultUS:    25, // "Linux needs to do some work on the mmap code"
+		DiskOverheadUS: 1200,
+		PhysMB:         32,
+	},
+	{
+		Name: "Linux/i586", OSName: "Linux 1.3.28", CPUName: "Pentium",
+		Year: 1995, PriceK: 5, SPECInt: 155,
+		MHz: 120, IssueWidth: 2,
+		Caches: []simmem.CacheConfig{
+			cache("L1", 8<<10, 32, 2, 8),
+			cache("L2", 256<<10, 32, 1, 95),
+		},
+		MemLatNS: 179, ReadBW: 74, WriteBW: 75,
+		TLB:       simmem.TLBConfig{Entries: 64, PageSize: 4096, Assoc: 4, MissNS: 150},
+		SyscallUS: 2, SigInstallUS: 7, SigHandlerUS: 52,
+		ForkMS: 0.9, ForkExecMS: 5, ForkShMS: 16,
+		CtxSwitchUS: 10,
+		TCPLatUS:    467, UDPLatUS: 187, RPCTCPLatUS: 713, RPCUDPLatUS: 366,
+		ConnectUS: 606, ChecksumMBs: 40,
+		Media:  []simnet.Medium{simnet.Ether10},
+		FSName: "EXT2FS", FSMode: simfs.ModeAsync, FSCreateUS: 1114, FSDeleteUS: 95,
+		MmapFaultUS:    40,
+		DiskOverheadUS: 1300,
+		PhysMB:         16,
+	},
+	{
+		Name: "Linux/Alpha", OSName: "Linux 1.3.38", CPUName: "Alpha 21064A",
+		Year: 1995, PriceK: 9, SPECInt: 189,
+		MHz: 275, IssueWidth: 2,
+		Caches: []simmem.CacheConfig{
+			cache("L1", 16<<10, 32, 1, 7),
+			cache("L2", 256<<10, 64, 1, 70),
+		},
+		MemLatNS: 357, ReadBW: 73, WriteBW: 71,
+		TLB:       simmem.TLBConfig{Entries: 32, PageSize: 8192, Assoc: 0, MissNS: 200},
+		SyscallUS: 2, SigInstallUS: 13, SigHandlerUS: 138,
+		ForkMS: 0.7, ForkExecMS: 3, ForkShMS: 12,
+		CtxSwitchUS: 11,
+		TCPLatUS:    429, UDPLatUS: 180, RPCTCPLatUS: 602, RPCUDPLatUS: 317,
+		ConnectUS: 600, ChecksumMBs: 45,
+		Media:  []simnet.Medium{simnet.Ether10},
+		FSName: "EXT2FS", FSMode: simfs.ModeAsync, FSCreateUS: 834, FSDeleteUS: 115,
+		MmapFaultUS:    45,
+		DiskOverheadUS: 1300,
+		PhysMB:         64,
+	},
+	{
+		Name: "IBM Power2", OSName: "AIX 4", CPUName: "Power2",
+		Year: 1993, PriceK: 110, SPECInt: 126,
+		MHz: 71, IssueWidth: 4,
+		// "The HP and IBM systems have only one level of cache ...
+		// the cache delivers data in one clock cycle after the load."
+		Caches: []simmem.CacheConfig{
+			cache("L1", 256<<10, 128, 4, 14),
+		},
+		MemLatNS: 260, ReadBW: 205, WriteBW: 364,
+		TLB:       simmem.TLBConfig{Entries: 128, PageSize: 4096, Assoc: 2, MissNS: 100},
+		SyscallUS: 16, SigInstallUS: 10, SigHandlerUS: 27,
+		ForkMS: 1.2, ForkExecMS: 8, ForkShMS: 16,
+		CtxSwitchUS: 13,
+		TCPLatUS:    332, UDPLatUS: 254, RPCTCPLatUS: 649, RPCUDPLatUS: 531,
+		ConnectUS: 339, ChecksumMBs: 90,
+		FSName: "JFS", FSMode: simfs.ModeLogged, FSCreateUS: 12820, FSDeleteUS: 13333,
+		MmapFaultUS:    12,
+		DiskOverheadUS: 1100,
+		PhysMB:         512,
+	},
+	{
+		Name: "IBM PowerPC", OSName: "AIX 3", CPUName: "MPC604",
+		Year: 1995, PriceK: 15, SPECInt: 176,
+		MHz: 133, IssueWidth: 2,
+		// "The 586 and PowerPC motherboards have quite poor second
+		// level caches, the caches are not substantially better than
+		// main memory."
+		Caches: []simmem.CacheConfig{
+			cache("L1", 16<<10, 32, 4, 7),
+			cache("L2", 512<<10, 32, 1, 164),
+		},
+		MemLatNS: 394, ReadBW: 63, WriteBW: 26,
+		TLB:       simmem.TLBConfig{Entries: 64, PageSize: 4096, Assoc: 2, MissNS: 170},
+		SyscallUS: 12, SigInstallUS: 10, SigHandlerUS: 52,
+		ForkMS: 2.9, ForkExecMS: 8, ForkShMS: 50,
+		CtxSwitchUS: 16,
+		TCPLatUS:    299, UDPLatUS: 206, RPCTCPLatUS: 698, RPCUDPLatUS: 536,
+		ConnectUS: 700, ChecksumMBs: 35,
+		FSName: "JFS", FSMode: simfs.ModeLogged, FSCreateUS: 12658, FSDeleteUS: 12658,
+		MmapFaultUS:    20,
+		DiskOverheadUS: 1200,
+		PhysMB:         64,
+	},
+	{
+		Name: "HP K210", OSName: "HP-UX B.10.01", CPUName: "PA 7200",
+		Year: 1995, PriceK: 35, SPECInt: 167, Multi: true,
+		MHz: 120, IssueWidth: 2,
+		// "HP systems usually focus on large caches as close as
+		// possible to the processor" — one level, one-cycle.
+		Caches: []simmem.CacheConfig{
+			cache("L1", 256<<10, 32, 1, 8),
+		},
+		MemLatNS: 349, ReadBW: 126, WriteBW: 78,
+		TLB:        simmem.TLBConfig{Entries: 96, PageSize: 4096, Assoc: 0, MissNS: 130},
+		LibcCopyHW: true, // libc bcopy well above the unrolled loop in Table 2
+		SyscallUS:  10, SigInstallUS: 4, SigHandlerUS: 13,
+		ForkMS: 3.1, ForkExecMS: 11, ForkShMS: 20,
+		CtxSwitchUS: 17,
+		TCPLatUS:    146, UDPLatUS: 152, RPCTCPLatUS: 606, RPCUDPLatUS: 543,
+		ConnectUS: 238, LoopbackOptimized: true, ChecksumMBs: 80,
+		Media:  []simnet.Medium{simnet.FDDI, simnet.Ether10},
+		FSName: "HFS", FSMode: simfs.ModeAsync, FSCreateUS: 579, FSDeleteUS: 67,
+		MmapFaultUS:    6, // "HP has the opposite problem" — fast kernel paths
+		DiskOverheadUS: 1103,
+		PhysMB:         128,
+	},
+	{
+		Name: "Sun Ultra1", OSName: "SunOS 5.5", CPUName: "UltraSPARC",
+		Year: 1995, PriceK: 21, SPECInt: 250,
+		MHz: 167, IssueWidth: 4,
+		Caches: []simmem.CacheConfig{
+			cache("L1", 16<<10, 32, 1, 6),
+			cache("L2", 512<<10, 64, 1, 42),
+		},
+		MemLatNS: 270, ReadBW: 129, WriteBW: 152,
+		TLB:        simmem.TLBConfig{Entries: 64, PageSize: 8192, Assoc: 0, MissNS: 120},
+		LibcCopyHW: true, // SPARC V9 block-move instructions (§5.1)
+		SyscallUS:  4, SigInstallUS: 5, SigHandlerUS: 24,
+		ForkMS: 3.7, ForkExecMS: 20, ForkShMS: 37, // "poor Sun Ultra 1 results ... likely to be software"
+		CtxSwitchUS: 14,
+		TCPLatUS:    162, UDPLatUS: 197, RPCTCPLatUS: 346, RPCUDPLatUS: 267,
+		ConnectUS: 852, LoopbackOptimized: true, ChecksumMBs: 120,
+		Media:  []simnet.Medium{simnet.Ether100},
+		FSName: "UFS", FSMode: simfs.ModeSync, FSCreateUS: 8333, FSDeleteUS: 18181,
+		MmapFaultUS:    10,
+		DiskOverheadUS: 2242,
+		PhysMB:         64,
+	},
+	{
+		Name: "Sun SC1000", OSName: "SunOS 5.5-beta", CPUName: "SuperSPARC",
+		Year: 1992, PriceK: 35, SPECInt: 65, Multi: true,
+		MHz: 50, IssueWidth: 2,
+		Caches: []simmem.CacheConfig{
+			cache("L1", 16<<10, 32, 4, 20),
+			cache("L2", 1<<20, 64, 1, 140),
+		},
+		MemLatNS: 1236, ReadBW: 38, WriteBW: 31,
+		TLB:       simmem.TLBConfig{Entries: 64, PageSize: 4096, Assoc: 0, MissNS: 300},
+		SyscallUS: 9, SigInstallUS: 12, SigHandlerUS: 60,
+		ForkMS: 14, ForkExecMS: 69, ForkShMS: 281,
+		CtxSwitchUS: 104,
+		TCPLatUS:    855, UDPLatUS: 739, RPCTCPLatUS: 1386, RPCUDPLatUS: 1101,
+		ConnectUS: 3047, LoopbackOptimized: true, ChecksumMBs: 25,
+		FSName: "UFS", FSMode: simfs.ModeSync, FSCreateUS: 11111, FSDeleteUS: 12345,
+		MmapFaultUS:    30,
+		DiskOverheadUS: 1466,
+		PhysMB:         128,
+	},
+	{
+		Name: "Solaris/i686", OSName: "SunOS 5.5.1", CPUName: "Pentium Pro",
+		Year: 1995, PriceK: 5, SPECInt: 215,
+		MHz: 133, IssueWidth: 3,
+		Caches: []simmem.CacheConfig{
+			cache("L1", 8<<10, 32, 2, 14),
+			cache("L2", 256<<10, 32, 4, 48),
+		},
+		MemLatNS: 281, ReadBW: 159, WriteBW: 71,
+		TLB:       simmem.TLBConfig{Entries: 64, PageSize: 4096, Assoc: 4, MissNS: 140},
+		SyscallUS: 7, SigInstallUS: 9, SigHandlerUS: 45,
+		ForkMS: 4.5, ForkExecMS: 22, ForkShMS: 46,
+		CtxSwitchUS: 36,
+		TCPLatUS:    305, UDPLatUS: 348, RPCTCPLatUS: 528, RPCUDPLatUS: 454,
+		ConnectUS: 1230, LoopbackOptimized: true, ChecksumMBs: 70,
+		FSName: "UFS", FSMode: simfs.ModeSync, FSCreateUS: 23809, FSDeleteUS: 7246,
+		MmapFaultUS:    14,
+		DiskOverheadUS: 1400,
+		PhysMB:         32,
+	},
+	{
+		Name: "Unixware/i686", OSName: "Unixware 5.4.2", CPUName: "Pentium Pro",
+		Year: 1995, PriceK: 7, SPECInt: 320,
+		MHz: 200, IssueWidth: 3,
+		Caches: []simmem.CacheConfig{
+			cache("L1", 8<<10, 32, 2, 5),
+			cache("L2", 256<<10, 32, 4, 25),
+		},
+		MemLatNS: 200, ReadBW: 235, WriteBW: 88,
+		TLB:       simmem.TLBConfig{Entries: 64, PageSize: 4096, Assoc: 4, MissNS: 120},
+		SyscallUS: 4, SigInstallUS: 6, SigHandlerUS: 25,
+		ForkMS: 0.9, ForkExecMS: 5, ForkShMS: 10,
+		CtxSwitchUS: 17,
+		TCPLatUS:    300, UDPLatUS: 280, RPCTCPLatUS: 500, RPCUDPLatUS: 480,
+		ConnectUS: 500, ChecksumMBs: 75,
+		// "Unless Unixware has modified UFS substantially, they must be
+		// running in an unsafe mode" — async despite the UFS name.
+		FSName: "UFS", FSMode: simfs.ModeAsync, FSCreateUS: 450, FSDeleteUS: 369,
+		MmapFaultUS:    1, // "outstanding mmap reread rates"
+		DiskOverheadUS: 1250,
+		PhysMB:         32,
+	},
+	{
+		Name: "FreeBSD/i586", OSName: "FreeBSD 2.1", CPUName: "Pentium",
+		Year: 1995, PriceK: 3, SPECInt: 190,
+		MHz: 90, IssueWidth: 2,
+		Caches: []simmem.CacheConfig{
+			cache("L1", 8<<10, 32, 2, 7),
+			cache("L2", 256<<10, 32, 1, 95),
+		},
+		MemLatNS: 230, ReadBW: 73, WriteBW: 83,
+		TLB:       simmem.TLBConfig{Entries: 64, PageSize: 4096, Assoc: 4, MissNS: 150},
+		SyscallUS: 6, SigInstallUS: 4, SigHandlerUS: 21,
+		ForkMS: 2.0, ForkExecMS: 11, ForkShMS: 19,
+		CtxSwitchUS: 27,
+		TCPLatUS:    256, UDPLatUS: 212, RPCTCPLatUS: 440, RPCUDPLatUS: 375,
+		ConnectUS: 418, ChecksumMBs: 50,
+		Media:  []simnet.Medium{simnet.Ether100},
+		FSName: "UFS", FSMode: simfs.ModeSync, FSCreateUS: 28571, FSDeleteUS: 11235,
+		MmapFaultUS:    18,
+		DiskOverheadUS: 1350,
+		PhysMB:         16,
+	},
+	{
+		Name: "SGI Indigo2", OSName: "IRIX 5.3", CPUName: "R4400",
+		Year: 1994, PriceK: 15, SPECInt: 135,
+		MHz: 200, IssueWidth: 1,
+		Caches: []simmem.CacheConfig{
+			cache("L1", 16<<10, 32, 1, 10),
+			cache("L2", 1<<20, 128, 1, 64),
+		},
+		MemLatNS: 1150, ReadBW: 69, WriteBW: 66,
+		TLB:       simmem.TLBConfig{Entries: 48, PageSize: 4096, Assoc: 0, MissNS: 400},
+		SyscallUS: 11, SigInstallUS: 4, SigHandlerUS: 7, // "SGI does very well on signal processing"
+		ForkMS: 3.1, ForkExecMS: 8, ForkShMS: 19,
+		CtxSwitchUS: 40,
+		TCPLatUS:    278, UDPLatUS: 313, RPCTCPLatUS: 641, RPCUDPLatUS: 671,
+		ConnectUS: 716, ChecksumMBs: 45,
+		Media:  []simnet.Medium{simnet.Ether10},
+		FSName: "EFS", FSMode: simfs.ModeSync, FSCreateUS: 11904, FSDeleteUS: 25000,
+		MmapFaultUS:    16,
+		DiskOverheadUS: 984,
+		PhysMB:         64,
+	},
+	{
+		Name: "SGI Challenge", OSName: "IRIX 6.2-alpha", CPUName: "R4400",
+		Year: 1994, PriceK: 80, SPECInt: 140, Multi: true,
+		MHz: 200, IssueWidth: 1,
+		Caches: []simmem.CacheConfig{
+			cache("L1", 16<<10, 32, 1, 10),
+			cache("L2", 4<<20, 128, 1, 64),
+		},
+		MemLatNS: 1189, ReadBW: 67, WriteBW: 65,
+		TLB:       simmem.TLBConfig{Entries: 48, PageSize: 4096, Assoc: 0, MissNS: 400},
+		SyscallUS: 14, SigInstallUS: 4, SigHandlerUS: 9,
+		ForkMS: 4.0, ForkExecMS: 14, ForkShMS: 24,
+		CtxSwitchUS: 63, // MP scheduler: "multiprocessor context switch times are frequently more expensive"
+		TCPLatUS:    546, UDPLatUS: 678, RPCTCPLatUS: 900, RPCUDPLatUS: 893,
+		ConnectUS: 900,
+		// The SGI Hippi interface has hardware TCP checksum support.
+		ChecksumMBs: 0,
+		Media:       []simnet.Medium{simnet.Hippi},
+		FSName:      "XFS", FSMode: simfs.ModeLogged, FSCreateUS: 3508, FSDeleteUS: 4016,
+		MmapFaultUS:    14,
+		DiskOverheadUS: 920,
+		PhysMB:         256,
+	},
+	{
+		Name: "DEC Alpha@150", OSName: "OSF1 3.0", CPUName: "Alpha 21064",
+		Year: 1993, PriceK: 35, SPECInt: 84,
+		MHz: 150, IssueWidth: 2,
+		Caches: []simmem.CacheConfig{
+			cache("L1", 8<<10, 32, 1, 13),
+			cache("L2", 512<<10, 32, 1, 67),
+		},
+		MemLatNS: 291, ReadBW: 79, WriteBW: 91,
+		TLB:       simmem.TLBConfig{Entries: 32, PageSize: 8192, Assoc: 0, MissNS: 250},
+		SyscallUS: 11, SigInstallUS: 6, SigHandlerUS: 59,
+		ForkMS: 2.0, ForkExecMS: 6, ForkShMS: 16,
+		CtxSwitchUS: 53,
+		TCPLatUS:    485, UDPLatUS: 489, RPCTCPLatUS: 788, RPCUDPLatUS: 834,
+		ConnectUS: 1000, ChecksumMBs: 45,
+		Media:  []simnet.Medium{simnet.Ether10},
+		FSName: "UFS", FSMode: simfs.ModeSync, FSCreateUS: 12345, FSDeleteUS: 38461,
+		MmapFaultUS:    22,
+		DiskOverheadUS: 1436,
+		PhysMB:         64,
+	},
+	{
+		Name: "DEC Alpha@300", OSName: "OSF1 3.2", CPUName: "Alpha 21164",
+		Year: 1995, PriceK: 250, SPECInt: 341, Multi: true,
+		MHz: 300, IssueWidth: 4,
+		// §6.2 uses this machine for Figure 1: 8K on-chip L1, the 96K
+		// on-chip "level 1.5" with its "rather high 22 clock latency",
+		// and a 4M board cache.
+		Caches: []simmem.CacheConfig{
+			cache("L1", 8<<10, 32, 1, 3.3),
+			cache("L2", 96<<10, 64, 3, 25),
+			cache("L3", 4<<20, 64, 1, 66),
+		},
+		MemLatNS: 400, ReadBW: 123, WriteBW: 120,
+		TLB:       simmem.TLBConfig{Entries: 64, PageSize: 8192, Assoc: 0, MissNS: 100},
+		SyscallUS: 9, SigInstallUS: 6, SigHandlerUS: 18,
+		ForkMS: 4.6, ForkExecMS: 13, ForkShMS: 39,
+		CtxSwitchUS: 14,
+		TCPLatUS:    267, UDPLatUS: 259, RPCTCPLatUS: 371, RPCUDPLatUS: 358,
+		ConnectUS: 500, ChecksumMBs: 60,
+		Media:  []simnet.Medium{simnet.Ether10},
+		FSName: "ADVFS", FSMode: simfs.ModeLogged, FSCreateUS: 4184, FSDeleteUS: 4255,
+		MmapFaultUS:    16,
+		DiskOverheadUS: 1200,
+		PhysMB:         256,
+	},
+}

@@ -1,0 +1,458 @@
+package machines
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ptime"
+	"repro/internal/simfs"
+)
+
+func TestBuildAllProfiles(t *testing.T) {
+	names := Names()
+	if len(names) < 10 {
+		t.Fatalf("catalog has %d profiles, want >= 10", len(names))
+	}
+	for _, name := range names {
+		p, ok := ByName(name)
+		if !ok {
+			t.Fatalf("ByName(%q) failed", name)
+		}
+		m, err := Build(p)
+		if err != nil {
+			t.Errorf("Build(%s): %v", name, err)
+			continue
+		}
+		if m.Name() != name {
+			t.Errorf("Name = %q, want %q", m.Name(), name)
+		}
+		if m.Mem() == nil || m.OS() == nil || m.Net() == nil || m.FS() == nil {
+			t.Errorf("%s: nil ops", name)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Profile{}); err == nil {
+		t.Error("empty profile should fail")
+	}
+	if _, err := Build(Profile{Name: "x", MHz: 100}); err == nil {
+		t.Error("profile without caches should fail")
+	}
+	p, _ := ByName("Linux/i686")
+	p.ForkMS = 0.001 // below syscall+ctx floor
+	if _, err := Build(p); err == nil {
+		t.Error("impossible fork target should fail")
+	}
+}
+
+func TestByNameMissing(t *testing.T) {
+	if _, ok := ByName("VAX 11/780"); ok {
+		t.Error("unknown machine should not resolve")
+	}
+	if len(All()) != len(Names()) {
+		t.Error("All and Names disagree")
+	}
+}
+
+// build is a test helper.
+func build(t *testing.T, name string) *Machine {
+	t.Helper()
+	p, ok := ByName(name)
+	if !ok {
+		t.Fatalf("no profile %q", name)
+	}
+	m, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// within checks a measured value against a target with relative slack.
+func within(t *testing.T, what string, got, want, slack float64) {
+	t.Helper()
+	if want == 0 {
+		return
+	}
+	if diff := math.Abs(got-want) / want; diff > slack {
+		t.Errorf("%s = %.3g, want %.3g (+-%d%%)", what, got, want, int(slack*100))
+	}
+}
+
+// TestCalibrationRecoversPrimitives verifies that Build's parameter
+// inversion reproduces the paper-observable targets when the same
+// workloads are replayed on the simulated machine.
+func TestCalibrationRecoversPrimitives(t *testing.T) {
+	for _, name := range []string{"Linux/i686", "HP K210", "Sun Ultra1", "Sun SC1000"} {
+		m := build(t, name)
+		p := m.Profile()
+		clk := m.clk
+
+		// Syscall (Table 7).
+		before := clk.Now()
+		if err := m.OS().NullWrite(); err != nil {
+			t.Fatal(err)
+		}
+		within(t, name+" syscall us", (clk.Now() - before).Microseconds(), p.SyscallUS, 0.01)
+
+		// Signals (Table 8).
+		before = clk.Now()
+		_ = m.OS().SignalInstall()
+		within(t, name+" sigaction us", (clk.Now() - before).Microseconds(), p.SigInstallUS, 0.01)
+		before = clk.Now()
+		if err := m.OS().SignalCatch(); err != nil {
+			t.Fatal(err)
+		}
+		within(t, name+" sig handler us", (clk.Now() - before).Microseconds(), p.SigHandlerUS, 0.01)
+
+		// Process ladder (Table 9).
+		before = clk.Now()
+		_ = m.OS().ForkExit()
+		within(t, name+" fork ms", (clk.Now() - before).Milliseconds(), p.ForkMS, 0.02)
+		before = clk.Now()
+		_ = m.OS().ForkExecExit()
+		within(t, name+" fork+exec ms", (clk.Now() - before).Milliseconds(), p.ForkExecMS, 0.02)
+		before = clk.Now()
+		_ = m.OS().ForkShExit()
+		within(t, name+" sh ms", (clk.Now() - before).Milliseconds(), p.ForkShMS, 0.02)
+
+		// Round trips (Tables 12, 13).
+		before = clk.Now()
+		_ = m.Net().TCPRoundTrip()
+		within(t, name+" tcp rtt us", (clk.Now() - before).Microseconds(), p.TCPLatUS, 0.05)
+		before = clk.Now()
+		_ = m.Net().UDPRoundTrip()
+		within(t, name+" udp rtt us", (clk.Now() - before).Microseconds(), p.UDPLatUS, 0.05)
+		before = clk.Now()
+		_ = m.Net().RPCTCPRoundTrip()
+		within(t, name+" rpc/tcp rtt us", (clk.Now() - before).Microseconds(), p.RPCTCPLatUS, 0.05)
+
+		// Connection (Table 15).
+		before = clk.Now()
+		_ = m.Net().TCPConnect()
+		within(t, name+" connect us", (clk.Now() - before).Microseconds(), p.ConnectUS, 0.05)
+	}
+}
+
+// TestFSLatencyCalibration replays Table 16's 1000-file workload.
+func TestFSLatencyCalibration(t *testing.T) {
+	for _, name := range []string{"Linux/i686", "Solaris/i686", "SGI Challenge"} {
+		m := build(t, name)
+		p := m.Profile()
+		clk := m.clk
+		const n = 500
+		names := make([]string, n)
+		for i := range names {
+			names[i] = "f" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i/676))
+		}
+		before := clk.Now()
+		for _, f := range names {
+			if err := m.FS().Create(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		create := (clk.Now() - before).DivN(n).Microseconds()
+		before = clk.Now()
+		for _, f := range names {
+			if err := m.FS().Delete(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		del := (clk.Now() - before).DivN(n).Microseconds()
+		// Metadata policy costs involve simulated seeks, so allow wide
+		// slack; the orders of magnitude are what Table 16 is about.
+		within(t, name+" fs create us", create, p.FSCreateUS, 0.55)
+		within(t, name+" fs delete us", del, p.FSDeleteUS, 0.55)
+	}
+}
+
+// TestAlphaMemoryStaircase reproduces Figure 1's structure on the
+// DEC Alpha@300 profile: distinct plateaus for L1, the 96K level-1.5
+// cache, the 4M board cache, and main memory.
+func TestAlphaMemoryStaircase(t *testing.T) {
+	m := build(t, "DEC Alpha@300")
+	mem := m.Mem()
+	r, err := mem.Alloc(16 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latency := func(size int64) float64 {
+		_ = mem.FlushCaches()
+		ch, err := mem.NewChase(r, size, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := ch.Length()
+		_ = ch.Walk(n) // warm
+		before := m.clk.Now()
+		_ = ch.Walk(n)
+		per := (m.clk.Now() - before).DivN(n)
+		return per.Nanoseconds() - mem.LoadOverheadNS()
+	}
+	l1 := latency(4 << 10)
+	l15 := latency(64 << 10)
+	l3 := latency(1 << 20)
+	mm := latency(16 << 20)
+	if !(l1 < l15 && l15 < l3 && l3 < mm) {
+		t.Fatalf("staircase broken: %v %v %v %v", l1, l15, l3, mm)
+	}
+	within(t, "L1 ns", l1, 3.3, 0.1)
+	within(t, "L1.5 ns", l15, 25, 0.1)
+	within(t, "L3 ns", l3, 66, 0.1)
+	// Main memory including some TLB misses at this stride.
+	if mm < 390 || mm > 520 {
+		t.Errorf("memory plateau = %vns, want 400-500 (Figure 1)", mm)
+	}
+}
+
+// TestTable2Shape checks the bandwidth ordering the model derives:
+// read >= copy, and the machines' relative ranking on reads.
+func TestTable2Shape(t *testing.T) {
+	readBW := func(name string) float64 {
+		m := build(t, name)
+		mem := m.Mem()
+		r, _ := mem.Alloc(8 << 20)
+		before := m.clk.Now()
+		if err := mem.ReadSum(r, 8<<20); err != nil {
+			t.Fatal(err)
+		}
+		return 8.0 / (m.clk.Now() - before).Seconds() // MB(2^20)/s of 8MB
+	}
+	i686 := readBW("Linux/i686")
+	sc1000 := readBW("Sun SC1000")
+	power2 := readBW("IBM Power2")
+	if !(sc1000 < i686) || !(sc1000 < power2) {
+		t.Errorf("SC1000 (%f) should be slowest of (%f, %f)", sc1000, i686, power2)
+	}
+	within(t, "i686 read MB/s", i686, 208, 0.15)
+	within(t, "SC1000 read MB/s", sc1000, 38, 0.2)
+}
+
+// TestCopyVariants: the Ultra1's libc bcopy (V9 block moves) beats its
+// unrolled loop; on the i686 they are the same path.
+func TestCopyVariants(t *testing.T) {
+	copyTimes := func(name string) (libc, unrolled ptime.Duration) {
+		m := build(t, name)
+		mem := m.Mem()
+		src, _ := mem.Alloc(4 << 20)
+		dst, _ := mem.Alloc(4 << 20)
+		before := m.clk.Now()
+		_ = mem.Copy(dst, src, 4<<20)
+		libc = m.clk.Now() - before
+		_ = mem.FlushCaches()
+		before = m.clk.Now()
+		_ = mem.CopyUnrolled(dst, src, 4<<20)
+		unrolled = m.clk.Now() - before
+		return libc, unrolled
+	}
+	libc, unrolled := copyTimes("Sun Ultra1")
+	if libc >= unrolled {
+		t.Errorf("Ultra1 libc bcopy (%v) should beat unrolled (%v)", libc, unrolled)
+	}
+	libc, unrolled = copyTimes("Linux/i686")
+	if libc != unrolled {
+		t.Errorf("i686 libc (%v) and unrolled (%v) should match", libc, unrolled)
+	}
+}
+
+func TestRegionValidation(t *testing.T) {
+	m := build(t, "Linux/i686")
+	mem := m.Mem()
+	if _, err := mem.Alloc(0); err == nil {
+		t.Error("zero alloc should fail")
+	}
+	r, _ := mem.Alloc(1024)
+	if err := mem.ReadSum(r, 4096); err == nil {
+		t.Error("read beyond region should fail")
+	}
+	if err := mem.Copy(r, struct{}{}, 10); err == nil {
+		t.Error("foreign region should fail")
+	}
+	if _, err := mem.NewChase(r, 4096, 64); err == nil {
+		t.Error("chase beyond region should fail")
+	}
+}
+
+func TestNetOpsValidation(t *testing.T) {
+	m := build(t, "Linux/i686")
+	nt := m.Net()
+	if err := nt.PipeTransfer(0); err == nil {
+		t.Error("zero pipe transfer should fail")
+	}
+	if err := nt.TCPTransfer(1 << 30); err == nil {
+		t.Error("oversized transfer should fail")
+	}
+	if err := nt.RemoteTCPTransfer("hippi", 1<<20); err == nil {
+		t.Error("i686 has no hippi; want error")
+	}
+	if err := nt.RemoteTCPTransfer("10baseT", 1<<20); err != nil {
+		t.Errorf("10baseT should work on Linux/i686: %v", err)
+	}
+	media := nt.Media()
+	if len(media) != 1 || media[0] != "10baseT" {
+		t.Errorf("Media = %v", media)
+	}
+}
+
+func TestFSOpsCleanup(t *testing.T) {
+	m := build(t, "Linux/i686")
+	fs := m.FS()
+	_ = fs.Create("a")
+	_ = fs.WriteFile("b", 4096)
+	if err := fs.Cleanup(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything is gone; deleting again fails.
+	if err := fs.Delete("a"); err == nil {
+		t.Error("cleanup should have removed files")
+	}
+}
+
+func TestDiskOps(t *testing.T) {
+	m := build(t, "SGI Challenge")
+	d := m.Disk()
+	if d == nil {
+		t.Fatal("SGI Challenge should expose a disk")
+	}
+	_ = d.SeqRead512() // arm the track buffer
+	before := m.clk.Now()
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := d.SeqRead512(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per := (m.clk.Now() - before).DivN(n).Microseconds()
+	// Table 17: SGI Challenge SCSI overhead 920us (+ bus transfer).
+	if per < 900 || per > 1100 {
+		t.Errorf("SCSI overhead = %.0fus, want ~970", per)
+	}
+	if err := d.Reset(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingThroughCoreInterface(t *testing.T) {
+	m := build(t, "Linux/i686")
+	var machine core.Machine = m
+	r, err := machine.OS().NewRing(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = r.Close() }()
+	if r.Procs() != 2 {
+		t.Errorf("Procs = %d", r.Procs())
+	}
+	before := m.clk.Now()
+	const laps = 20
+	for i := 0; i < laps; i++ {
+		if err := r.Pass(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One Pass is a full circulation: 2 hops on a 2-process ring.
+	per := (m.clk.Now() - before).DivN(laps * 2).Microseconds()
+	// Per hop ~= ctx (6us) + 2 syscalls (6us) + token copies.
+	if per < 12 || per > 30 {
+		t.Errorf("per-hop = %.1fus, want 12-30", per)
+	}
+}
+
+func TestFSModesAcrossCatalog(t *testing.T) {
+	modes := map[simfs.Mode]bool{}
+	for _, p := range All() {
+		modes[p.FSMode] = true
+	}
+	if !modes[simfs.ModeAsync] || !modes[simfs.ModeLogged] || !modes[simfs.ModeSync] {
+		t.Error("catalog should cover all three metadata modes")
+	}
+}
+
+func TestNetInversionClampsTinyTargets(t *testing.T) {
+	// An RTT target below the syscall+ctx floor must clamp the stack
+	// cost rather than go negative.
+	p, _ := ByName("Linux/i686")
+	p.TCPLatUS = 1 // absurd
+	m, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.clk.Now()
+	_ = m.Net().TCPRoundTrip()
+	rtt := (m.clk.Now() - before).Microseconds()
+	// Floor: 4 syscalls + 2 ctx + 2 driver + 4 x 0.5us stack.
+	if rtt < 4*p.SyscallUS+2*p.CtxSwitchUS {
+		t.Errorf("clamped RTT = %v, below structural floor", rtt)
+	}
+}
+
+func TestLoggedFSGroupCommit(t *testing.T) {
+	// The SGI Challenge XFS target (3.5ms) is below one log force
+	// (~8.5ms), so Build must select group commit (LogEveryN > 1) and
+	// the averaged per-op cost must land near the target.
+	m := build(t, "SGI Challenge")
+	clk := m.clk
+	const n = 400
+	before := clk.Now()
+	for i := 0; i < n; i++ {
+		if err := m.FS().Create(shortName2(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per := (clk.Now() - before).DivN(n).Microseconds()
+	if per < 1500 || per > 7000 {
+		t.Errorf("XFS create = %.0fus, want ~3.5-4.5ms via group commit", per)
+	}
+	_ = m.FS().Cleanup()
+}
+
+// shortName2 mirrors core's name generator for this package's tests.
+func shortName2(i int) string {
+	s := ""
+	for {
+		s = string(rune('a'+i%26)) + s
+		i = i/26 - 1
+		if i < 0 {
+			return s
+		}
+	}
+}
+
+func TestDiskIOAdapter(t *testing.T) {
+	m := build(t, "SGI Challenge")
+	dio := m.DiskIO()
+	if dio == nil {
+		t.Fatal("SGI Challenge should expose DiskIO")
+	}
+	buf := make([]byte, 512)
+	if _, err := dio.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dio.WriteAt(buf, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dio.ReadAt(buf, dio.Size()); err == nil {
+		t.Error("read past device should error")
+	}
+}
+
+func TestRemoteRoundTripOrdering(t *testing.T) {
+	// HP K210 has fddi and 10baseT; fddi round trips must be faster.
+	m := build(t, "HP K210")
+	clk := m.clk
+	rtt := func(medium string) float64 {
+		before := clk.Now()
+		if err := m.Net().RemoteRoundTrip(medium, false); err != nil {
+			t.Fatal(err)
+		}
+		return (clk.Now() - before).Microseconds()
+	}
+	if f, e := rtt("fddi"), rtt("10baseT"); f >= e {
+		t.Errorf("fddi RTT (%v) should beat 10baseT (%v)", f, e)
+	}
+	if err := m.Net().RemoteRoundTrip("hippi", false); err == nil {
+		t.Error("HP K210 has no hippi")
+	}
+}

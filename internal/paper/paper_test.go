@@ -1,0 +1,181 @@
+package paper
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/results"
+)
+
+func sampleDB() *results.DB {
+	db := &results.DB{}
+	add := func(bench, machine string, v float64) {
+		_ = db.Add(results.Entry{Benchmark: bench, Machine: machine, Unit: "x", Scalar: v})
+	}
+	add("bw_mem.bcopy_libc", "Linux/i686", 42)
+	add("bw_mem.bcopy_unrolled", "Linux/i686", 56)
+	add("bw_mem.read", "Linux/i686", 208)
+	add("bw_mem.write", "Linux/i686", 56)
+	add("bw_mem.bcopy_libc", "IBM Power2", 242)
+	add("bw_mem.bcopy_unrolled", "IBM Power2", 171)
+	add("bw_mem.read", "IBM Power2", 205)
+	add("bw_mem.write", "IBM Power2", 364)
+	add("lat_syscall", "Linux/i686", 3)
+	add("lat_syscall", "HP K210", 10)
+	add("lat_disk.scsi_overhead", "HP K210", 1103)
+	add("bw_tcp_remote.hippi", "SGI Challenge", 79.3)
+	add("bw_tcp_remote.10baseT", "Linux/i686", 0.9)
+	add("lat_net_remote.10baseT.tcp", "Linux/i686", 602)
+	add("lat_net_remote.10baseT.udp", "Linux/i686", 543)
+	// L2 latency present only for i686 (HP-like single-level machines
+	// leave the column missing).
+	add("cache.l1_lat", "Linux/i686", 10)
+	add("cache.l1_size", "Linux/i686", 8192)
+	add("cache.l2_lat", "Linux/i686", 42)
+	add("cache.l2_size", "Linux/i686", 262144)
+	add("cache.mem_lat", "Linux/i686", 270)
+	add("cache.l1_lat", "HP K210", 8)
+	add("cache.l1_size", "HP K210", 262144)
+	add("cache.mem_lat", "HP K210", 349)
+
+	_ = db.Add(results.Entry{
+		Benchmark: "lat_mem_rd", Machine: "Linux/i686", Unit: "ns",
+		Series: []results.Point{
+			{X: 512, X2: 8, Y: 10}, {X: 1024, X2: 8, Y: 10},
+			{X: 512, X2: 128, Y: 10}, {X: 1 << 20, X2: 128, Y: 270},
+		},
+	})
+	_ = db.Add(results.Entry{
+		Benchmark: "lat_ctx", Machine: "Linux/i686", Unit: "us",
+		Series: []results.Point{
+			{X: 2, X2: 0, Y: 6}, {X: 8, X2: 0, Y: 7},
+			{X: 2, X2: 32768, Y: 18}, {X: 8, X2: 32768, Y: 101},
+		},
+	})
+	return db
+}
+
+func TestRenderTable2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderTable(&buf, "table2", sampleDB()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 2", "IBM Power2", "Linux/i686", "208", "364"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted best-to-worst on the unrolled column: Power2 (171) first.
+	if strings.Index(out, "IBM Power2") > strings.Index(out, "Linux/i686") {
+		t.Errorf("Table 2 not sorted:\n%s", out)
+	}
+}
+
+func TestRenderTable6MissingLevel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderTable(&buf, "table6", sampleDB()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "HP K210") || !strings.Contains(out, "-") {
+		t.Errorf("single-level machine should render with missing L2:\n%s", out)
+	}
+}
+
+func TestRenderTable4And14(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderTable(&buf, "table4", sampleDB()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "SGI Challenge (hippi)") || !strings.Contains(out, "79.3") {
+		t.Errorf("table4 missing hippi row:\n%s", out)
+	}
+	// Sorted by bandwidth: hippi before 10baseT.
+	if strings.Index(out, "hippi") > strings.Index(out, "10baseT") {
+		t.Errorf("table4 not sorted:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := RenderTable(&buf, "table14", sampleDB()); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "Linux/i686 (10baseT)") || !strings.Contains(out, "602") || !strings.Contains(out, "543") {
+		t.Errorf("table14 wrong:\n%s", out)
+	}
+}
+
+func TestRenderUnknownTable(t *testing.T) {
+	if err := RenderTable(&bytes.Buffer{}, "table99", sampleDB()); err == nil {
+		t.Error("unknown table should error")
+	}
+}
+
+func TestFigurePlots(t *testing.T) {
+	db := sampleDB()
+	p1, err := Figure1Plot(db, "Linux/i686")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Sets) != 2 {
+		t.Errorf("figure1 sets = %d, want 2 strides", len(p1.Sets))
+	}
+	var buf bytes.Buffer
+	if err := p1.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Figure2Plot(db, "Linux/i686")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Sets) != 2 {
+		t.Errorf("figure2 sets = %d, want 2 sizes", len(p2.Sets))
+	}
+	if _, err := Figure1Plot(db, "HP K210"); err == nil {
+		t.Error("machine without series should error")
+	}
+}
+
+func TestRenderAll(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderAll(&buf, sampleDB()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"Table 2", "Table 7", "Table 17", "Figure 1", "Figure 2"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("RenderAll missing %q", id)
+		}
+	}
+	if len(TableIDs()) != 20 {
+		t.Errorf("TableIDs = %d, want 16 paper tables + 4 extensions", len(TableIDs()))
+	}
+}
+
+func TestRenderSummary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderSummary(&buf, sampleDB(), "Linux/i686"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"summary for Linux/i686",
+		"null syscall",
+		"memory read",
+		"L2 latency",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// Sections with no data are suppressed: the sample has no proc data.
+	if strings.Contains(out, "fork & exit") {
+		t.Error("summary should skip missing rows")
+	}
+	if strings.Contains(out, "Extensions") {
+		t.Error("summary should skip empty sections")
+	}
+}

@@ -1,0 +1,113 @@
+package paper
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/results"
+)
+
+// RenderSummary prints the classic lmbench one-machine summary block:
+// every headline metric of one system, grouped the way the original
+// suite's "summary" output groups them. Missing metrics are skipped.
+func RenderSummary(w io.Writer, db *results.DB, machine string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "lmbench-go summary for %s\n", machine)
+	fmt.Fprintf(bw, "%s\n", line(24+len(machine)))
+
+	section := func(title string, rows []summaryRow) {
+		any := false
+		for _, r := range rows {
+			if _, ok := db.Scalar(r.bench, machine); ok {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return
+		}
+		fmt.Fprintf(bw, "\n%s\n", title)
+		for _, r := range rows {
+			v, ok := db.Scalar(r.bench, machine)
+			if !ok {
+				continue
+			}
+			if r.unit == "bytes" || r.unit == "pages" {
+				fmt.Fprintf(bw, "  %-34s %10.0f %s\n", r.label, v, r.unit)
+			} else {
+				fmt.Fprintf(bw, "  %-34s %10.4g %s\n", r.label, v, r.unit)
+			}
+		}
+	}
+
+	section("Processor, processes (microseconds / milliseconds)", []summaryRow{
+		{"null syscall (write /dev/null)", "lat_syscall", "us"},
+		{"signal install (sigaction)", "lat_sig.install", "us"},
+		{"signal catch", "lat_sig.catch", "us"},
+		{"fork & exit", "lat_proc.fork", "ms"},
+		{"fork, exec & exit", "lat_proc.exec", "ms"},
+		{"fork, exec sh -c & exit", "lat_proc.sh", "ms"},
+	})
+	section("Context switching (microseconds)", []summaryRow{
+		{"2 procs / 0KB", "lat_ctx.2p_0k", "us"},
+		{"2 procs / 32KB", "lat_ctx.2p_32k", "us"},
+		{"8 procs / 0KB", "lat_ctx.8p_0k", "us"},
+		{"8 procs / 32KB", "lat_ctx.8p_32k", "us"},
+	})
+	section("Local communication latencies (microseconds)", []summaryRow{
+		{"pipe", "lat_pipe", "us"},
+		{"TCP", "lat_tcp", "us"},
+		{"RPC/TCP", "lat_rpc_tcp", "us"},
+		{"UDP", "lat_udp", "us"},
+		{"RPC/UDP", "lat_rpc_udp", "us"},
+		{"TCP connect", "lat_connect", "us"},
+	})
+	section("File system and disk (microseconds)", []summaryRow{
+		{"file create (0KB)", "lat_fs.create", "us"},
+		{"file delete", "lat_fs.delete", "us"},
+		{"SCSI command overhead", "lat_disk.scsi_overhead", "us"},
+	})
+	section("Local bandwidth (MB/s)", []summaryRow{
+		{"memory copy (libc)", "bw_mem.bcopy_libc", "MB/s"},
+		{"memory copy (unrolled)", "bw_mem.bcopy_unrolled", "MB/s"},
+		{"memory read", "bw_mem.read", "MB/s"},
+		{"memory write", "bw_mem.write", "MB/s"},
+		{"pipe", "bw_ipc.pipe", "MB/s"},
+		{"TCP (loopback)", "bw_ipc.tcp", "MB/s"},
+		{"file reread (read)", "bw_file.read", "MB/s"},
+		{"file reread (mmap)", "bw_file.mmap", "MB/s"},
+	})
+	section("Memory hierarchy (nanoseconds / bytes)", []summaryRow{
+		{"L1 latency", "cache.l1_lat", "ns"},
+		{"L1 size", "cache.l1_size", "bytes"},
+		{"L2 latency", "cache.l2_lat", "ns"},
+		{"L2 size", "cache.l2_size", "bytes"},
+		{"memory latency", "cache.mem_lat", "ns"},
+		{"line size", "cache.line_size", "bytes"},
+	})
+	section("Extensions", []summaryRow{
+		{"STREAM triad", "stream.triad", "MB/s"},
+		{"dirty-read memory latency", "lat_mem_rd_dirty.mem", "ns"},
+		{"write memory latency", "lat_mem_wr.mem", "ns"},
+		{"TLB entries", "tlb.entries", "pages"},
+		{"TLB miss", "tlb.miss_ns", "ns"},
+		{"cache-to-cache ping-pong", "lat_c2c", "ns"},
+		{"physical memory", "mem.size", "MB"},
+	})
+	return bw.Flush()
+}
+
+type summaryRow struct {
+	label string
+	bench string
+	unit  string
+}
+
+func line(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '='
+	}
+	return string(b)
+}

@@ -1,0 +1,250 @@
+// Package paperdata embeds the paper's published evaluation values as
+// a results database, so regenerated results can be compared against
+// the original mechanically (ratios per cell, Spearman rank agreement
+// per table — see cmd/lmcompare and the shape tests).
+//
+// Transcription caveat: the available scan of the paper is noisy; the
+// values below are the transcription used to calibrate the simulated
+// machines, with ambiguous cells reconstructed from the canonical
+// lmbench-1996 numbers. They are reference data for shape comparison,
+// not a substitute for the paper.
+package paperdata
+
+import "repro/internal/results"
+
+// row binds one machine's value for one benchmark.
+type row struct {
+	machine string
+	v       float64
+}
+
+// table is one benchmark column of a paper table.
+type table struct {
+	bench string
+	unit  string
+	rows  []row
+}
+
+var tables = []table{
+	// Table 2: memory bandwidth (MB/s).
+	{"bw_mem.bcopy_unrolled", "MB/s", []row{
+		{"IBM Power2", 171}, {"Sun Ultra1", 85}, {"DEC Alpha@300", 80},
+		{"HP K210", 57}, {"Unixware/i686", 58}, {"Solaris/i686", 48},
+		{"DEC Alpha@150", 46}, {"Linux/i686", 56}, {"FreeBSD/i586", 42},
+		{"Linux/Alpha", 39}, {"Linux/i586", 42}, {"SGI Challenge", 36},
+		{"SGI Indigo2", 32}, {"IBM PowerPC", 21}, {"Sun SC1000", 15},
+	}},
+	{"bw_mem.bcopy_libc", "MB/s", []row{
+		{"IBM Power2", 242}, {"Sun Ultra1", 167}, {"DEC Alpha@300", 85},
+		{"HP K210", 117}, {"Unixware/i686", 65}, {"Solaris/i686", 52},
+		{"DEC Alpha@150", 45}, {"Linux/i686", 42}, {"FreeBSD/i586", 39},
+		{"Linux/Alpha", 39}, {"Linux/i586", 38}, {"SGI Challenge", 35},
+		{"SGI Indigo2", 31}, {"IBM PowerPC", 21}, {"Sun SC1000", 17},
+	}},
+	{"bw_mem.read", "MB/s", []row{
+		{"IBM Power2", 205}, {"Sun Ultra1", 129}, {"DEC Alpha@300", 123},
+		{"HP K210", 126}, {"Unixware/i686", 235}, {"Solaris/i686", 159},
+		{"DEC Alpha@150", 79}, {"Linux/i686", 208}, {"FreeBSD/i586", 73},
+		{"Linux/Alpha", 73}, {"Linux/i586", 74}, {"SGI Challenge", 67},
+		{"SGI Indigo2", 69}, {"IBM PowerPC", 63}, {"Sun SC1000", 38},
+	}},
+	{"bw_mem.write", "MB/s", []row{
+		{"IBM Power2", 364}, {"Sun Ultra1", 152}, {"DEC Alpha@300", 120},
+		{"HP K210", 78}, {"Unixware/i686", 88}, {"Solaris/i686", 71},
+		{"DEC Alpha@150", 91}, {"Linux/i686", 56}, {"FreeBSD/i586", 83},
+		{"Linux/Alpha", 71}, {"Linux/i586", 75}, {"SGI Challenge", 65},
+		{"SGI Indigo2", 66}, {"IBM PowerPC", 26}, {"Sun SC1000", 31},
+	}},
+	// Table 3: pipe and loopback TCP bandwidth (MB/s).
+	{"bw_ipc.pipe", "MB/s", []row{
+		{"HP K210", 93}, {"IBM Power2", 84}, {"Linux/i686", 56},
+		{"Linux/Alpha", 73}, {"Unixware/i686", 68}, {"Sun Ultra1", 61},
+		{"DEC Alpha@300", 46}, {"Solaris/i686", 38}, {"DEC Alpha@150", 35},
+		{"SGI Indigo2", 34}, {"Linux/i586", 34}, {"IBM PowerPC", 17},
+		{"FreeBSD/i586", 13}, {"SGI Challenge", 17}, {"Sun SC1000", 11},
+	}},
+	{"bw_ipc.tcp", "MB/s", []row{
+		{"HP K210", 34}, {"IBM Power2", 10}, {"Linux/i686", 18},
+		{"Linux/Alpha", 9}, {"Unixware/i686", 61}, {"Sun Ultra1", 51},
+		{"DEC Alpha@300", 11}, {"Solaris/i686", 20}, {"DEC Alpha@150", 9},
+		{"SGI Indigo2", 22}, {"Linux/i586", 7}, {"IBM PowerPC", 21},
+		{"FreeBSD/i586", 23}, {"SGI Challenge", 31}, {"Sun SC1000", 9},
+	}},
+	// Table 5: cached file reread (MB/s).
+	{"bw_file.read", "MB/s", []row{
+		{"IBM Power2", 187}, {"HP K210", 88}, {"Sun Ultra1", 101},
+		{"DEC Alpha@300", 80}, {"Unixware/i686", 200}, {"Solaris/i686", 94},
+		{"DEC Alpha@150", 50}, {"Linux/i686", 40}, {"IBM PowerPC", 40},
+		{"SGI Challenge", 56}, {"SGI Indigo2", 44}, {"FreeBSD/i586", 30},
+		{"Linux/Alpha", 24}, {"Linux/i586", 23}, {"Sun SC1000", 20},
+	}},
+	{"bw_file.mmap", "MB/s", []row{
+		{"IBM Power2", 106}, {"HP K210", 52}, {"Sun Ultra1", 85},
+		{"DEC Alpha@300", 67}, {"Unixware/i686", 235}, {"Solaris/i686", 52},
+		{"DEC Alpha@150", 45}, {"Linux/i686", 36}, {"IBM PowerPC", 51},
+		{"SGI Challenge", 36}, {"SGI Indigo2", 32}, {"FreeBSD/i586", 53},
+		{"Linux/Alpha", 18}, {"Linux/i586", 9}, {"Sun SC1000", 15},
+	}},
+	// Table 7: simple system call (microseconds).
+	{"lat_syscall", "us", []row{
+		{"Linux/Alpha", 2}, {"Linux/i586", 2}, {"Linux/i686", 3},
+		{"Sun Ultra1", 4}, {"Unixware/i686", 4}, {"FreeBSD/i586", 6},
+		{"Solaris/i686", 7}, {"DEC Alpha@300", 9}, {"Sun SC1000", 9},
+		{"HP K210", 10}, {"DEC Alpha@150", 11}, {"SGI Indigo2", 11},
+		{"IBM PowerPC", 12}, {"SGI Challenge", 14}, {"IBM Power2", 16},
+	}},
+	// Table 8: signals (microseconds).
+	{"lat_sig.install", "us", []row{
+		{"SGI Indigo2", 4}, {"SGI Challenge", 4}, {"HP K210", 4},
+		{"FreeBSD/i586", 4}, {"Linux/i686", 4}, {"Unixware/i686", 6},
+		{"IBM Power2", 10}, {"Solaris/i686", 9}, {"IBM PowerPC", 10},
+		{"Linux/i586", 7}, {"DEC Alpha@300", 6}, {"DEC Alpha@150", 6},
+		{"Linux/Alpha", 13}, {"Sun Ultra1", 5}, {"Sun SC1000", 12},
+	}},
+	{"lat_sig.catch", "us", []row{
+		{"SGI Indigo2", 7}, {"SGI Challenge", 9}, {"HP K210", 13},
+		{"FreeBSD/i586", 21}, {"Linux/i686", 22}, {"Unixware/i686", 25},
+		{"IBM Power2", 27}, {"Solaris/i686", 45}, {"IBM PowerPC", 52},
+		{"Linux/i586", 52}, {"DEC Alpha@300", 18}, {"DEC Alpha@150", 59},
+		{"Linux/Alpha", 138}, {"Sun Ultra1", 24}, {"Sun SC1000", 60},
+	}},
+	// Table 9: process creation (milliseconds).
+	{"lat_proc.fork", "ms", []row{
+		{"Linux/i686", 0.4}, {"Linux/Alpha", 0.7}, {"Linux/i586", 0.9},
+		{"Unixware/i686", 0.9}, {"IBM Power2", 1.2}, {"DEC Alpha@150", 2.0},
+		{"FreeBSD/i586", 2.0}, {"IBM PowerPC", 2.9}, {"SGI Indigo2", 3.1},
+		{"HP K210", 3.1}, {"Sun Ultra1", 3.7}, {"SGI Challenge", 4.0},
+		{"Solaris/i686", 4.5}, {"DEC Alpha@300", 4.6}, {"Sun SC1000", 14.0},
+	}},
+	{"lat_proc.exec", "ms", []row{
+		{"Linux/i686", 5}, {"Linux/Alpha", 3}, {"Linux/i586", 5},
+		{"Unixware/i686", 5}, {"IBM Power2", 8}, {"DEC Alpha@150", 6},
+		{"FreeBSD/i586", 11}, {"IBM PowerPC", 8}, {"SGI Indigo2", 8},
+		{"HP K210", 11}, {"Sun Ultra1", 20}, {"SGI Challenge", 14},
+		{"Solaris/i686", 22}, {"DEC Alpha@300", 13}, {"Sun SC1000", 69},
+	}},
+	{"lat_proc.sh", "ms", []row{
+		{"Linux/i686", 14}, {"Linux/Alpha", 12}, {"Linux/i586", 16},
+		{"Unixware/i686", 10}, {"IBM Power2", 16}, {"DEC Alpha@150", 16},
+		{"FreeBSD/i586", 19}, {"IBM PowerPC", 50}, {"SGI Indigo2", 19},
+		{"HP K210", 20}, {"Sun Ultra1", 37}, {"SGI Challenge", 24},
+		{"Solaris/i686", 46}, {"DEC Alpha@300", 39}, {"Sun SC1000", 281},
+	}},
+	// Table 10: context switching, 2 procs / 0K (microseconds).
+	{"lat_ctx.2p_0k", "us", []row{
+		{"Linux/i686", 6}, {"Linux/i586", 10}, {"Linux/Alpha", 11},
+		{"IBM Power2", 13}, {"Sun Ultra1", 14}, {"DEC Alpha@300", 14},
+		{"IBM PowerPC", 16}, {"HP K210", 17}, {"Unixware/i686", 17},
+		{"FreeBSD/i586", 27}, {"Solaris/i686", 36}, {"SGI Indigo2", 40},
+		{"DEC Alpha@150", 53}, {"SGI Challenge", 63}, {"Sun SC1000", 104},
+	}},
+	// Table 10: context switching, 8 procs / 32K (microseconds).
+	{"lat_ctx.8p_32k", "us", []row{
+		{"Linux/i686", 101}, {"Linux/i586", 163}, {"Linux/Alpha", 215},
+		{"IBM Power2", 43}, {"Sun Ultra1", 102}, {"DEC Alpha@300", 41},
+		{"IBM PowerPC", 144}, {"HP K210", 99}, {"Unixware/i686", 72},
+		{"FreeBSD/i586", 102}, {"Solaris/i686", 118}, {"SGI Indigo2", 104},
+		{"DEC Alpha@150", 134}, {"SGI Challenge", 80}, {"Sun SC1000", 197},
+	}},
+	// Table 11: pipe round-trip latency (microseconds).
+	{"lat_pipe", "us", []row{
+		{"Linux/i686", 26}, {"Linux/i586", 33}, {"Linux/Alpha", 34},
+		{"Sun Ultra1", 62}, {"IBM PowerPC", 65}, {"Unixware/i686", 70},
+		{"DEC Alpha@300", 71}, {"HP K210", 78}, {"IBM Power2", 91},
+		{"Solaris/i686", 101}, {"FreeBSD/i586", 104}, {"SGI Indigo2", 131},
+		{"DEC Alpha@150", 179}, {"SGI Challenge", 251}, {"Sun SC1000", 278},
+	}},
+	// Table 12: TCP and RPC/TCP latency (microseconds).
+	{"lat_tcp", "us", []row{
+		{"HP K210", 146}, {"Sun Ultra1", 162}, {"Linux/i686", 216},
+		{"FreeBSD/i586", 256}, {"DEC Alpha@300", 267}, {"SGI Indigo2", 278},
+		{"IBM PowerPC", 299}, {"Unixware/i686", 300}, {"Solaris/i686", 305},
+		{"IBM Power2", 332}, {"Linux/Alpha", 429}, {"Linux/i586", 467},
+		{"DEC Alpha@150", 485}, {"SGI Challenge", 546}, {"Sun SC1000", 855},
+	}},
+	{"lat_rpc_tcp", "us", []row{
+		{"HP K210", 606}, {"Sun Ultra1", 346}, {"Linux/i686", 346},
+		{"FreeBSD/i586", 440}, {"DEC Alpha@300", 371}, {"SGI Indigo2", 641},
+		{"IBM PowerPC", 698}, {"Unixware/i686", 500}, {"Solaris/i686", 528},
+		{"IBM Power2", 649}, {"Linux/Alpha", 602}, {"Linux/i586", 713},
+		{"DEC Alpha@150", 788}, {"SGI Challenge", 900}, {"Sun SC1000", 1386},
+	}},
+	// Table 13: UDP and RPC/UDP latency (microseconds).
+	{"lat_udp", "us", []row{
+		{"Linux/i686", 93}, {"HP K210", 152}, {"Linux/Alpha", 180},
+		{"Linux/i586", 187}, {"Sun Ultra1", 197}, {"IBM PowerPC", 206},
+		{"FreeBSD/i586", 212}, {"IBM Power2", 254}, {"DEC Alpha@300", 259},
+		{"Unixware/i686", 280}, {"SGI Indigo2", 313}, {"Solaris/i686", 348},
+		{"DEC Alpha@150", 489}, {"SGI Challenge", 678}, {"Sun SC1000", 739},
+	}},
+	{"lat_rpc_udp", "us", []row{
+		{"Linux/i686", 180}, {"HP K210", 543}, {"Linux/Alpha", 317},
+		{"Linux/i586", 366}, {"Sun Ultra1", 267}, {"IBM PowerPC", 536},
+		{"FreeBSD/i586", 375}, {"IBM Power2", 531}, {"DEC Alpha@300", 358},
+		{"Unixware/i686", 480}, {"SGI Indigo2", 671}, {"Solaris/i686", 454},
+		{"DEC Alpha@150", 834}, {"SGI Challenge", 893}, {"Sun SC1000", 1101},
+	}},
+	// Table 15: TCP connect (microseconds).
+	{"lat_connect", "us", []row{
+		{"HP K210", 238}, {"Linux/i686", 263}, {"IBM Power2", 339},
+		{"FreeBSD/i586", 418}, {"Linux/i586", 606}, {"Sun Ultra1", 852},
+		{"SGI Indigo2", 716}, {"Solaris/i686", 1230}, {"Sun SC1000", 3047},
+	}},
+	// Table 16: file create/delete (microseconds).
+	{"lat_fs.create", "us", []row{
+		{"Linux/i686", 751}, {"HP K210", 579}, {"Linux/i586", 1114},
+		{"Linux/Alpha", 834}, {"Unixware/i686", 450}, {"SGI Challenge", 3508},
+		{"DEC Alpha@300", 4184}, {"Solaris/i686", 23809}, {"Sun Ultra1", 8333},
+		{"Sun SC1000", 11111}, {"FreeBSD/i586", 28571}, {"SGI Indigo2", 11904},
+		{"DEC Alpha@150", 12345}, {"IBM PowerPC", 12658}, {"IBM Power2", 12820},
+	}},
+	{"lat_fs.delete", "us", []row{
+		{"Linux/i686", 45}, {"HP K210", 67}, {"Linux/i586", 95},
+		{"Linux/Alpha", 115}, {"Unixware/i686", 369}, {"SGI Challenge", 4016},
+		{"DEC Alpha@300", 4255}, {"Solaris/i686", 7246}, {"Sun Ultra1", 18181},
+		{"Sun SC1000", 12345}, {"FreeBSD/i586", 11235}, {"SGI Indigo2", 25000},
+		{"DEC Alpha@150", 38461}, {"IBM PowerPC", 12658}, {"IBM Power2", 13333},
+	}},
+	// Table 17: SCSI command overhead (microseconds).
+	{"lat_disk.scsi_overhead", "us", []row{
+		{"SGI Challenge", 920}, {"SGI Indigo2", 984}, {"HP K210", 1103},
+		{"DEC Alpha@150", 1436}, {"Sun SC1000", 1466}, {"Sun Ultra1", 2242},
+	}},
+	// Table 4: remote TCP bandwidth (MB/s).
+	{"bw_tcp_remote.hippi", "MB/s", []row{{"SGI Challenge", 79.3}}},
+	{"bw_tcp_remote.100baseT", "MB/s", []row{
+		{"Sun Ultra1", 9.5}, {"FreeBSD/i586", 7.9},
+	}},
+	{"bw_tcp_remote.fddi", "MB/s", []row{{"HP K210", 8.8}}},
+	{"bw_tcp_remote.10baseT", "MB/s", []row{
+		{"SGI Indigo2", 0.9}, {"HP K210", 0.9}, {"Linux/i686", 0.7},
+	}},
+}
+
+// DB returns the paper's evaluation as a fresh results database. The
+// machine name "Machine" entries match the built-in profile names.
+func DB() *results.DB {
+	db := &results.DB{}
+	for _, t := range tables {
+		for _, r := range t.rows {
+			// Entries in this table are well-formed by construction.
+			_ = db.Add(results.Entry{
+				Benchmark: t.bench,
+				Machine:   r.machine,
+				Unit:      t.unit,
+				Scalar:    r.v,
+				Attrs:     map[string]string{"source": "paper"},
+			})
+		}
+	}
+	return db
+}
+
+// Benchmarks lists the benchmark keys with paper reference data.
+func Benchmarks() []string {
+	out := make([]string, 0, len(tables))
+	for _, t := range tables {
+		out = append(out, t.bench)
+	}
+	return out
+}

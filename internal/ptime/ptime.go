@@ -1,0 +1,98 @@
+// Package ptime defines the picosecond-resolution Duration used by both
+// the measurement harness and the machine simulator.
+//
+// The paper's benchmarks report results from tenths of nanoseconds
+// (per-word costs of unrolled copy loops on a 10ns-cycle processor) up to
+// tens of milliseconds (synchronous file-system metadata updates). The
+// standard library's time.Duration (ns) is too coarse at the bottom end
+// for a simulated 300MHz Alpha whose cycle is 3.33ns, so the suite keeps
+// all simulated and measured time in integer picoseconds.
+package ptime
+
+import (
+	"fmt"
+	"time"
+)
+
+// Duration is a span of time in picoseconds.
+type Duration int64
+
+// Units.
+const (
+	Picosecond  Duration = 1
+	Nanosecond           = 1000 * Picosecond
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// FromNS converts a (possibly fractional) nanosecond count to a Duration,
+// rounding to the nearest picosecond.
+func FromNS(ns float64) Duration {
+	if ns >= 0 {
+		return Duration(ns*1000 + 0.5)
+	}
+	return Duration(ns*1000 - 0.5)
+}
+
+// FromUS converts microseconds to a Duration.
+func FromUS(us float64) Duration { return FromNS(us * 1000) }
+
+// FromMS converts milliseconds to a Duration.
+func FromMS(ms float64) Duration { return FromNS(ms * 1e6) }
+
+// FromStd converts a time.Duration to a Duration.
+func FromStd(d time.Duration) Duration { return Duration(d) * Nanosecond }
+
+// Std converts to time.Duration, truncating sub-nanosecond precision.
+func (d Duration) Std() time.Duration { return time.Duration(d / Nanosecond) }
+
+// Nanoseconds returns the duration as a float number of nanoseconds.
+func (d Duration) Nanoseconds() float64 { return float64(d) / 1e3 }
+
+// Microseconds returns the duration as a float number of microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / 1e6 }
+
+// Milliseconds returns the duration as a float number of milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / 1e9 }
+
+// Seconds returns the duration as a float number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e12 }
+
+// Mul scales the duration by an integer count.
+func (d Duration) Mul(n int64) Duration { return d * Duration(n) }
+
+// DivN divides the duration by a count, rounding to nearest.
+func (d Duration) DivN(n int64) Duration {
+	if n == 0 {
+		return 0
+	}
+	half := Duration(n) / 2
+	if d >= 0 {
+		return (d + half) / Duration(n)
+	}
+	return (d - half) / Duration(n)
+}
+
+// String renders the duration with a unit chosen by magnitude, matching
+// how the paper quotes results (ns, us, ms, s).
+func (d Duration) String() string {
+	abs := d
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs == 0:
+		return "0s"
+	case abs < Nanosecond:
+		return fmt.Sprintf("%dps", int64(d))
+	case abs < Microsecond:
+		return fmt.Sprintf("%.3gns", d.Nanoseconds())
+	case abs < Millisecond:
+		return fmt.Sprintf("%.4gus", d.Microseconds())
+	case abs < Second:
+		return fmt.Sprintf("%.4gms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%.4gs", d.Seconds())
+	}
+}

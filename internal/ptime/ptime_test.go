@@ -1,0 +1,126 @@
+package ptime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestUnits(t *testing.T) {
+	if Nanosecond != 1000 {
+		t.Errorf("Nanosecond = %d ps, want 1000", int64(Nanosecond))
+	}
+	if Second != 1e12 {
+		t.Errorf("Second = %d ps, want 1e12", int64(Second))
+	}
+}
+
+func TestFromNSRounding(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want Duration
+	}{
+		{1, 1000},
+		{3.333, 3333},
+		{0.0004, 0}, // rounds down
+		{0.0006, 1}, // rounds up to 1ps
+		{-1.5, -1500},
+	}
+	for _, c := range cases {
+		if got := FromNS(c.ns); got != c.want {
+			t.Errorf("FromNS(%v) = %d, want %d", c.ns, int64(got), int64(c.want))
+		}
+	}
+}
+
+func TestConversions(t *testing.T) {
+	d := FromUS(2.5)
+	if d != 2500*Nanosecond {
+		t.Errorf("FromUS(2.5) = %v", int64(d))
+	}
+	if got := d.Microseconds(); got != 2.5 {
+		t.Errorf("Microseconds = %v, want 2.5", got)
+	}
+	if got := FromMS(1).Milliseconds(); got != 1 {
+		t.Errorf("Milliseconds = %v, want 1", got)
+	}
+	if got := (3 * Second).Seconds(); got != 3 {
+		t.Errorf("Seconds = %v, want 3", got)
+	}
+	if got := FromStd(5 * time.Microsecond); got != 5*Microsecond {
+		t.Errorf("FromStd = %v", int64(got))
+	}
+	if got := (1500 * Nanosecond).Std(); got != 1500*time.Nanosecond {
+		t.Errorf("Std = %v", got)
+	}
+}
+
+func TestDivN(t *testing.T) {
+	if got := Duration(10).DivN(4); got != 3 { // 2.5 rounds to 3
+		t.Errorf("DivN = %d, want 3", int64(got))
+	}
+	if got := Duration(10).DivN(0); got != 0 {
+		t.Errorf("DivN by zero = %d, want 0", int64(got))
+	}
+	if got := Duration(-10).DivN(4); got != -3 {
+		t.Errorf("DivN negative = %d, want -3", int64(got))
+	}
+}
+
+func TestMul(t *testing.T) {
+	if got := (2 * Nanosecond).Mul(3); got != 6*Nanosecond {
+		t.Errorf("Mul = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0s"},
+		{500 * Picosecond, "500ps"},
+		{FromNS(3.33), "3.33ns"},
+		{FromUS(12.5), "12.5us"},
+		{FromMS(8), "8ms"},
+		{2 * Second, "2s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("String(%d ps) = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+// Property: DivN then Mul reconstructs within rounding error of n/2 ps.
+func TestQuickDivMul(t *testing.T) {
+	f := func(raw int32, nRaw uint8) bool {
+		n := int64(nRaw%100) + 1
+		d := Duration(raw)
+		q := d.DivN(n)
+		diff := int64(d) - int64(q)*n
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= n/2+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FromNS(x).Nanoseconds() ~ x.
+func TestQuickNSRoundTrip(t *testing.T) {
+	f := func(raw int32) bool {
+		ns := float64(raw) / 7.0
+		got := FromNS(ns).Nanoseconds()
+		diff := got - ns
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 0.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

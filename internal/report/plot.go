@@ -1,0 +1,183 @@
+package report
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/results"
+)
+
+// DataSet is one labeled curve of a Plot (a stride in Figure 1, a
+// process footprint in Figure 2).
+type DataSet struct {
+	Label  string
+	Points []results.Point // X and Y are used; X2 is ignored here
+}
+
+// Plot renders one or more datasets as an ASCII scatter/line chart. It
+// stands in for the gnuplot figures in the paper; WriteGnuplot emits the
+// same data in gnuplot's format for real plotting.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Log2X plots x on a log2 axis, as Figure 1 does with array size.
+	Log2X bool
+	// Log2Y plots y on a log2 axis.
+	Log2Y bool
+	// Width and Height are the character-cell dimensions of the plot
+	// area (default 72x20).
+	Width, Height int
+	Sets          []DataSet
+}
+
+// Markers assigns one rune per dataset, cycling if there are many.
+var markers = []byte("+x*o#@%&=~")
+
+// Render draws the plot.
+func (p *Plot) Render(w io.Writer) error {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	var xs, ys []float64
+	for _, s := range p.Sets {
+		for _, pt := range s.Points {
+			x, y, ok := p.transform(pt)
+			if !ok {
+				continue
+			}
+			xs = append(xs, x)
+			ys = append(ys, y)
+		}
+	}
+	if len(xs) == 0 {
+		return errors.New("report: plot has no plottable points")
+	}
+	xmin, xmax := minMax(xs)
+	ymin, ymax := minMax(ys)
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range p.Sets {
+		mark := markers[si%len(markers)]
+		for _, pt := range s.Points {
+			x, y, ok := p.transform(pt)
+			if !ok {
+				continue
+			}
+			cx := int((x - xmin) / (xmax - xmin) * float64(width-1))
+			cy := int((y - ymin) / (ymax - ymin) * float64(height-1))
+			row := height - 1 - cy
+			grid[row][cx] = mark
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	if p.Title != "" {
+		fmt.Fprintln(bw, p.Title)
+	}
+	yTop := p.axisLabel(ymax, p.Log2Y)
+	yBot := p.axisLabel(ymin, p.Log2Y)
+	labelW := len(yTop)
+	if len(yBot) > labelW {
+		labelW = len(yBot)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", labelW)
+		if i == 0 {
+			label = fmt.Sprintf("%*s", labelW, yTop)
+		} else if i == height-1 {
+			label = fmt.Sprintf("%*s", labelW, yBot)
+		}
+		fmt.Fprintf(bw, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(bw, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", width))
+	xLeft := p.axisLabel(xmin, p.Log2X)
+	xRight := p.axisLabel(xmax, p.Log2X)
+	gap := width - len(xLeft) - len(xRight)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(bw, "%s  %s%s%s\n", strings.Repeat(" ", labelW), xLeft, strings.Repeat(" ", gap), xRight)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(bw, "%s  x: %s   y: %s\n", strings.Repeat(" ", labelW), p.XLabel, p.YLabel)
+	}
+	for si, s := range p.Sets {
+		fmt.Fprintf(bw, "%s   %c %s\n", strings.Repeat(" ", labelW), markers[si%len(markers)], s.Label)
+	}
+	return bw.Flush()
+}
+
+func (p *Plot) transform(pt results.Point) (x, y float64, ok bool) {
+	x, y = pt.X, pt.Y
+	if p.Log2X {
+		if x <= 0 {
+			return 0, 0, false
+		}
+		x = math.Log2(x)
+	}
+	if p.Log2Y {
+		if y <= 0 {
+			return 0, 0, false
+		}
+		y = math.Log2(y)
+	}
+	return x, y, true
+}
+
+func (p *Plot) axisLabel(v float64, logged bool) string {
+	if logged {
+		return fmt.Sprintf("2^%.1f", v)
+	}
+	return axisLabelValue(v)
+}
+
+func minMax(xs []float64) (mn, mx float64) {
+	mn, mx = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	return mn, mx
+}
+
+// WriteGnuplot emits the plot's datasets as a gnuplot-compatible data
+// file: one block per dataset separated by blank lines, with the label
+// in a comment. Matches how lmbench ships graph data plus tools.
+func (p *Plot) WriteGnuplot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if p.Title != "" {
+		fmt.Fprintf(bw, "# %s\n", p.Title)
+	}
+	for i, s := range p.Sets {
+		if i > 0 {
+			fmt.Fprintln(bw)
+			fmt.Fprintln(bw)
+		}
+		fmt.Fprintf(bw, "# %s\n", s.Label)
+		for _, pt := range s.Points {
+			fmt.Fprintf(bw, "%g %g %g\n", pt.X, pt.X2, pt.Y)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,171 @@
+package report
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WriteSVG renders the plot as a standalone SVG document: axes with
+// tick labels, one polyline+markers per dataset, and a legend. It is
+// the publication-quality counterpart of the ASCII Render, built with
+// the standard library only.
+func (p *Plot) WriteSVG(w io.Writer) error {
+	const (
+		width   = 720.0
+		height  = 480.0
+		marginL = 70.0
+		marginR = 170.0
+		marginT = 40.0
+		marginB = 50.0
+	)
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+
+	var xs, ys []float64
+	for _, s := range p.Sets {
+		for _, pt := range s.Points {
+			x, y, ok := p.transform(pt)
+			if !ok {
+				continue
+			}
+			xs = append(xs, x)
+			ys = append(ys, y)
+		}
+	}
+	if len(xs) == 0 {
+		return errors.New("report: plot has no plottable points")
+	}
+	xmin, xmax := minMax(xs)
+	ymin, ymax := minMax(ys)
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little headroom above the top series.
+	ymax += (ymax - ymin) * 0.05
+
+	toX := func(x float64) float64 { return marginL + (x-xmin)/(xmax-xmin)*plotW }
+	toY := func(y float64) float64 { return marginT + plotH - (y-ymin)/(ymax-ymin)*plotH }
+
+	colors := []string{
+		"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+		"#8c564b", "#17becf", "#7f7f7f", "#bcbd22", "#e377c2",
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n",
+		width, height, width, height)
+	fmt.Fprintln(bw, `<rect width="100%" height="100%" fill="white"/>`)
+	if p.Title != "" {
+		fmt.Fprintf(bw, `<text x="%g" y="24" font-family="sans-serif" font-size="16" font-weight="bold">%s</text>`+"\n",
+			marginL, xmlEscape(p.Title))
+	}
+
+	// Axes.
+	fmt.Fprintf(bw, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(bw, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+
+	// Ticks: five per axis.
+	for i := 0; i <= 4; i++ {
+		fx := xmin + (xmax-xmin)*float64(i)/4
+		fy := ymin + (ymax-ymin)*float64(i)/4
+		x := toX(fx)
+		y := toY(fy)
+		fmt.Fprintf(bw, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			x, marginT+plotH, x, marginT+plotH+5)
+		fmt.Fprintf(bw, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, marginT+plotH+18, xmlEscape(p.axisLabel(fx, p.Log2X)))
+		fmt.Fprintf(bw, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			marginL-5, y, marginL, y)
+		fmt.Fprintf(bw, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-8, y+4, xmlEscape(p.axisLabel(fy, p.Log2Y)))
+		// Light gridline.
+		fmt.Fprintf(bw, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#dddddd"/>`+"\n",
+			marginL, y, marginL+plotW, y)
+	}
+	if p.XLabel != "" {
+		fmt.Fprintf(bw, `<text x="%g" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			marginL+plotW/2, height-8, xmlEscape(p.XLabel))
+	}
+	if p.YLabel != "" {
+		fmt.Fprintf(bw, `<text x="16" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+			marginT+plotH/2, marginT+plotH/2, xmlEscape(p.YLabel))
+	}
+
+	// Data.
+	for si, s := range p.Sets {
+		color := colors[si%len(colors)]
+		var path []byte
+		first := true
+		for _, pt := range s.Points {
+			x, y, ok := p.transform(pt)
+			if !ok {
+				continue
+			}
+			cmd := byte('L')
+			if first {
+				cmd = 'M'
+				first = false
+			}
+			path = append(path, cmd)
+			path = append(path, []byte(fmt.Sprintf("%.1f %.1f ", toX(x), toY(y)))...)
+			fmt.Fprintf(bw, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", toX(x), toY(y), color)
+		}
+		if len(path) > 0 {
+			fmt.Fprintf(bw, `<path d="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n", path, color)
+		}
+		// Legend entry.
+		ly := marginT + 16*float64(si)
+		lx := marginL + plotW + 16
+		fmt.Fprintf(bw, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly, lx+18, ly, color)
+		fmt.Fprintf(bw, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			lx+24, ly+4, xmlEscape(s.Label))
+	}
+	fmt.Fprintln(bw, `</svg>`)
+	return bw.Flush()
+}
+
+// xmlEscape escapes the five XML special characters.
+func xmlEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			out = append(out, "&amp;"...)
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '"':
+			out = append(out, "&quot;"...)
+		case '\'':
+			out = append(out, "&apos;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+// axisLabelValue formats a tick value; exported-path helper shared with
+// the ASCII renderer via axisLabel. Kept separate so SVG ticks can use
+// scientific-free formatting for large byte counts.
+func axisLabelValue(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1<<20 && v == math.Trunc(v):
+		return fmt.Sprintf("%.0fM", v/(1<<20))
+	case av >= 1<<10 && v == math.Trunc(v):
+		return fmt.Sprintf("%.0fK", v/(1<<10))
+	default:
+		return FormatValue(v)
+	}
+}

@@ -1,0 +1,194 @@
+// Package report renders benchmark results the way the paper presents
+// them: sorted comparison tables ("All of the tables are sorted, from
+// best to worst. ... The sorted column's heading will be in bold") and
+// the two figures (memory-latency staircase, context-switch surface) as
+// ASCII plots plus gnuplot-ready data files.
+package report
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Better declares which direction of a column is better, controlling
+// the best-to-worst sort.
+type Better int
+
+const (
+	// LowerIsBetter sorts ascending (latencies).
+	LowerIsBetter Better = iota
+	// HigherIsBetter sorts descending (bandwidths).
+	HigherIsBetter
+)
+
+// Column describes one value column of a Table.
+type Column struct {
+	// Name is the column heading, e.g. "bcopy unrolled".
+	Name string
+	// Better selects the sort direction when this column is the sort key.
+	Better Better
+}
+
+// Row is one machine's results.
+type Row struct {
+	Machine string
+	Values  []float64
+	missing []bool
+}
+
+// Table is a paper-style result table: one row per machine, one or more
+// value columns, sorted best-to-worst on one column.
+type Table struct {
+	// Title is printed above the table, e.g.
+	// "Table 2. Memory bandwidth (MB/s)".
+	Title string
+	// Columns describes the value columns.
+	Columns []Column
+	// SortCol is the index of the column to sort by; its heading is
+	// marked with asterisks in lieu of the paper's bold face.
+	SortCol int
+	rows    []Row
+}
+
+// Missing is the sentinel accepted by AddRow for absent values,
+// rendered as "-" and sorted last.
+var Missing = math.NaN()
+
+// AddRow appends a machine's results. len(values) must equal
+// len(t.Columns); use Missing for absent cells.
+func (t *Table) AddRow(machine string, values ...float64) error {
+	if len(values) != len(t.Columns) {
+		return fmt.Errorf("report: row %q has %d values, table has %d columns",
+			machine, len(values), len(t.Columns))
+	}
+	r := Row{Machine: machine, Values: append([]float64(nil), values...)}
+	r.missing = make([]bool, len(values))
+	for i, v := range values {
+		r.missing[i] = math.IsNaN(v)
+	}
+	t.rows = append(t.rows, r)
+	return nil
+}
+
+// Rows returns the rows sorted best-to-worst by the sort column.
+func (t *Table) Rows() []Row {
+	out := make([]Row, len(t.rows))
+	copy(out, t.rows)
+	col := t.SortCol
+	if col < 0 || col >= len(t.Columns) {
+		col = 0
+	}
+	if len(t.Columns) == 0 {
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Machine < out[j].Machine })
+		return out
+	}
+	higher := t.Columns[col].Better == HigherIsBetter
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		// Missing sorts last regardless of direction.
+		switch {
+		case a.missing[col] && b.missing[col]:
+			return a.Machine < b.Machine
+		case a.missing[col]:
+			return false
+		case b.missing[col]:
+			return true
+		}
+		if higher {
+			return a.Values[col] > b.Values[col]
+		}
+		return a.Values[col] < b.Values[col]
+	})
+	return out
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if len(t.Columns) == 0 {
+		return errors.New("report: table has no columns")
+	}
+	bw := bufio.NewWriter(w)
+	if t.Title != "" {
+		fmt.Fprintln(bw, t.Title)
+	}
+
+	headers := make([]string, len(t.Columns)+1)
+	headers[0] = "System"
+	for i, c := range t.Columns {
+		name := c.Name
+		if i == t.SortCol {
+			name = "*" + name + "*"
+		}
+		headers[i+1] = name
+	}
+
+	rows := t.Rows()
+	cells := make([][]string, len(rows))
+	for ri, r := range rows {
+		cells[ri] = make([]string, len(t.Columns)+1)
+		cells[ri][0] = r.Machine
+		for ci, v := range r.Values {
+			if r.missing[ci] {
+				cells[ri][ci+1] = "-"
+			} else {
+				cells[ri][ci+1] = FormatValue(v)
+			}
+		}
+	}
+
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range cells {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+
+	writeRow := func(row []string) {
+		for i, c := range row {
+			if i == 0 {
+				fmt.Fprintf(bw, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(bw, "  %*s", widths[i], c)
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	writeRow(headers)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(bw, strings.Repeat("-", total-2))
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return bw.Flush()
+}
+
+// FormatValue renders a number the way the paper's tables do: small
+// values keep a little precision, large ones are whole (the paper prints
+// "0.7" for fast forks and "23,809" for slow file creates — we skip the
+// thousands separator).
+func FormatValue(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case av == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}

@@ -1,0 +1,340 @@
+// Package results implements the suite's results database.
+//
+// lmbench ships with "an extensible database of results from systems
+// current as of late 1995"; every table in the paper was produced from
+// that database. This package is the Go equivalent: a typed, mergeable
+// store of scalar results (one number per benchmark per machine) and
+// series results (curves such as the memory-latency sweep behind
+// Figure 1), with a line-oriented text serialization so runs can be
+// saved, shipped, and merged the way lmbench users donated results.
+package results
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Point is one sample of a series result. X is the primary sweep
+// variable (e.g. array size in bytes), X2 an optional secondary variable
+// (e.g. stride), and Y the measured value in the entry's Unit.
+type Point struct {
+	X, X2, Y float64
+}
+
+// Entry is one benchmark result for one machine: either a scalar or a
+// series (Series non-nil), in a declared unit.
+type Entry struct {
+	// Benchmark identifies the measurement, e.g. "bw_mem.bcopy_libc"
+	// or "lat_mem_rd". Dots group related measurements.
+	Benchmark string
+	// Machine names the system measured, e.g. "Linux/i686" or "host".
+	Machine string
+	// Unit is the reporting unit: "MB/s", "us", "ns", "ms".
+	Unit string
+	// Scalar is the value for scalar entries.
+	Scalar float64
+	// Series holds sweep results; when non-nil the entry is a series
+	// and Scalar is ignored.
+	Series []Point
+	// Attrs records benchmark parameters (sizes, modes) for the record.
+	Attrs map[string]string
+}
+
+// IsSeries reports whether the entry carries a curve rather than a
+// single number.
+func (e Entry) IsSeries() bool { return e.Series != nil }
+
+type key struct{ bench, machine string }
+
+// DB is a set of entries indexed by (benchmark, machine). The zero
+// value is ready to use.
+type DB struct {
+	entries map[key]*Entry
+	order   []key // insertion order for stable encoding
+}
+
+// Add stores e, replacing any existing entry for the same
+// (benchmark, machine) pair. Benchmark and Machine must be non-empty.
+func (db *DB) Add(e Entry) error {
+	if e.Benchmark == "" || e.Machine == "" {
+		return errors.New("results: entry needs benchmark and machine names")
+	}
+	if db.entries == nil {
+		db.entries = make(map[key]*Entry)
+	}
+	k := key{e.Benchmark, e.Machine}
+	if _, exists := db.entries[k]; !exists {
+		db.order = append(db.order, k)
+	}
+	cp := e
+	if e.Attrs != nil {
+		cp.Attrs = make(map[string]string, len(e.Attrs))
+		for a, v := range e.Attrs {
+			cp.Attrs[a] = v
+		}
+	}
+	if e.Series != nil {
+		cp.Series = make([]Point, len(e.Series))
+		copy(cp.Series, e.Series)
+	}
+	db.entries[k] = &cp
+	return nil
+}
+
+// Get returns the entry for (bench, machine).
+func (db *DB) Get(bench, machine string) (Entry, bool) {
+	e, ok := db.entries[key{bench, machine}]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Scalar returns the scalar value for (bench, machine), or ok=false when
+// missing or a series.
+func (db *DB) Scalar(bench, machine string) (float64, bool) {
+	e, ok := db.Get(bench, machine)
+	if !ok || e.IsSeries() {
+		return 0, false
+	}
+	return e.Scalar, true
+}
+
+// Len returns the number of entries.
+func (db *DB) Len() int { return len(db.entries) }
+
+// Machines returns the sorted set of machine names present.
+func (db *DB) Machines() []string {
+	seen := map[string]bool{}
+	for k := range db.entries {
+		seen[k.machine] = true
+	}
+	out := make([]string, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Benchmarks returns the sorted set of benchmark names present.
+func (db *DB) Benchmarks() []string {
+	seen := map[string]bool{}
+	for k := range db.entries {
+		seen[k.bench] = true
+	}
+	out := make([]string, 0, len(seen))
+	for b := range seen {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Entries returns all entries in insertion order.
+func (db *DB) Entries() []Entry {
+	out := make([]Entry, 0, len(db.order))
+	for _, k := range db.order {
+		if e, ok := db.entries[k]; ok {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+// Merge copies every entry of other into db, overwriting duplicates.
+// This mirrors how donated lmbench result files extend the database.
+func (db *DB) Merge(other *DB) {
+	for _, e := range other.Entries() {
+		_ = db.Add(e) // entries in a DB are always valid
+	}
+}
+
+// The text format, one entry per stanza:
+//
+//	entry "bw_mem.bcopy_libc" "Linux/i686" "MB/s" 42
+//	attr "size" "8388608"
+//	point 512 8 5.1
+//	end
+//
+// Strings are Go-quoted so machine names with spaces survive.
+
+const header = "# lmbench-go results v1"
+
+// Encode writes the database in the text format.
+func (db *DB) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, header)
+	for _, e := range db.Entries() {
+		fmt.Fprintf(bw, "entry %s %s %s %s\n",
+			strconv.Quote(e.Benchmark), strconv.Quote(e.Machine),
+			strconv.Quote(e.Unit), formatFloat(e.Scalar))
+		attrs := make([]string, 0, len(e.Attrs))
+		for a := range e.Attrs {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		for _, a := range attrs {
+			fmt.Fprintf(bw, "attr %s %s\n", strconv.Quote(a), strconv.Quote(e.Attrs[a]))
+		}
+		if e.IsSeries() {
+			for _, p := range e.Series {
+				fmt.Fprintf(bw, "point %s %s %s\n",
+					formatFloat(p.X), formatFloat(p.X2), formatFloat(p.Y))
+			}
+			// A series marker distinguishes an empty series from a scalar.
+			if len(e.Series) == 0 {
+				fmt.Fprintln(bw, "series")
+			}
+		}
+		fmt.Fprintln(bw, "end")
+	}
+	return bw.Flush()
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// Decode parses a database previously written by Encode.
+func Decode(r io.Reader) (*DB, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	db := &DB{}
+	var cur *Entry
+	lineNo := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if line == header {
+				sawHeader = true
+			}
+			continue
+		}
+		fields, err := splitQuoted(line)
+		if err != nil {
+			return nil, fmt.Errorf("results: line %d: %w", lineNo, err)
+		}
+		switch fields[0] {
+		case "entry":
+			if cur != nil {
+				return nil, fmt.Errorf("results: line %d: nested entry", lineNo)
+			}
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("results: line %d: entry wants 4 args", lineNo)
+			}
+			scalar, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("results: line %d: bad scalar: %w", lineNo, err)
+			}
+			cur = &Entry{Benchmark: fields[1], Machine: fields[2], Unit: fields[3], Scalar: scalar}
+		case "attr":
+			if cur == nil || len(fields) != 3 {
+				return nil, fmt.Errorf("results: line %d: misplaced attr", lineNo)
+			}
+			if cur.Attrs == nil {
+				cur.Attrs = make(map[string]string)
+			}
+			cur.Attrs[fields[1]] = fields[2]
+		case "point":
+			if cur == nil || len(fields) != 4 {
+				return nil, fmt.Errorf("results: line %d: misplaced point", lineNo)
+			}
+			var p Point
+			if p.X, err = strconv.ParseFloat(fields[1], 64); err != nil {
+				return nil, fmt.Errorf("results: line %d: bad point: %w", lineNo, err)
+			}
+			if p.X2, err = strconv.ParseFloat(fields[2], 64); err != nil {
+				return nil, fmt.Errorf("results: line %d: bad point: %w", lineNo, err)
+			}
+			if p.Y, err = strconv.ParseFloat(fields[3], 64); err != nil {
+				return nil, fmt.Errorf("results: line %d: bad point: %w", lineNo, err)
+			}
+			cur.Series = append(cur.Series, p)
+		case "series":
+			if cur == nil {
+				return nil, fmt.Errorf("results: line %d: misplaced series", lineNo)
+			}
+			if cur.Series == nil {
+				cur.Series = []Point{}
+			}
+		case "end":
+			if cur == nil {
+				return nil, fmt.Errorf("results: line %d: end without entry", lineNo)
+			}
+			if err := db.Add(*cur); err != nil {
+				return nil, fmt.Errorf("results: line %d: %w", lineNo, err)
+			}
+			cur = nil
+		default:
+			return nil, fmt.Errorf("results: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		return nil, errors.New("results: unterminated entry at EOF")
+	}
+	if !sawHeader && db.Len() > 0 {
+		return nil, errors.New("results: missing header line")
+	}
+	return db, nil
+}
+
+// splitQuoted tokenizes a line into space-separated fields where fields
+// may be Go-quoted strings.
+func splitQuoted(line string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		if line[i] == '"' {
+			// Find the end of the quoted token respecting escapes.
+			j := i + 1
+			for j < len(line) {
+				if line[j] == '\\' {
+					j += 2
+					continue
+				}
+				if line[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(line) {
+				return nil, errors.New("unterminated quote")
+			}
+			tok, err := strconv.Unquote(line[i : j+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, tok)
+			i = j + 1
+		} else {
+			j := i
+			for j < len(line) && line[j] != ' ' {
+				j++
+			}
+			out = append(out, line[i:j])
+			i = j
+		}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("empty line")
+	}
+	return out, nil
+}

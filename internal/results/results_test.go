@@ -1,0 +1,245 @@
+package results
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *DB {
+	db := &DB{}
+	_ = db.Add(Entry{Benchmark: "bw_mem.bcopy_libc", Machine: "Linux/i686", Unit: "MB/s", Scalar: 42})
+	_ = db.Add(Entry{Benchmark: "bw_mem.bcopy_libc", Machine: "IBM Power2", Unit: "MB/s", Scalar: 171})
+	_ = db.Add(Entry{
+		Benchmark: "lat_mem_rd", Machine: "DEC Alpha@300", Unit: "ns",
+		Series: []Point{{512, 8, 6.6}, {1024, 8, 6.6}, {1 << 23, 512, 400}},
+		Attrs:  map[string]string{"maxsize": "8388608"},
+	})
+	return db
+}
+
+func TestAddGet(t *testing.T) {
+	db := sample()
+	if db.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", db.Len())
+	}
+	v, ok := db.Scalar("bw_mem.bcopy_libc", "IBM Power2")
+	if !ok || v != 171 {
+		t.Errorf("Scalar = %v, %v", v, ok)
+	}
+	if _, ok := db.Scalar("lat_mem_rd", "DEC Alpha@300"); ok {
+		t.Error("Scalar on a series entry should report !ok")
+	}
+	if _, ok := db.Get("nope", "nope"); ok {
+		t.Error("Get of missing entry should report !ok")
+	}
+	e, ok := db.Get("lat_mem_rd", "DEC Alpha@300")
+	if !ok || !e.IsSeries() || len(e.Series) != 3 {
+		t.Errorf("series entry = %+v, %v", e, ok)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	db := &DB{}
+	if err := db.Add(Entry{Machine: "m"}); err == nil {
+		t.Error("missing benchmark name should error")
+	}
+	if err := db.Add(Entry{Benchmark: "b"}); err == nil {
+		t.Error("missing machine name should error")
+	}
+}
+
+func TestAddReplaces(t *testing.T) {
+	db := &DB{}
+	_ = db.Add(Entry{Benchmark: "b", Machine: "m", Scalar: 1})
+	_ = db.Add(Entry{Benchmark: "b", Machine: "m", Scalar: 2})
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", db.Len())
+	}
+	v, _ := db.Scalar("b", "m")
+	if v != 2 {
+		t.Errorf("Scalar = %v, want 2 (replaced)", v)
+	}
+}
+
+func TestAddCopiesInput(t *testing.T) {
+	attrs := map[string]string{"k": "v"}
+	series := []Point{{1, 0, 2}}
+	db := &DB{}
+	_ = db.Add(Entry{Benchmark: "b", Machine: "m", Attrs: attrs, Series: series})
+	attrs["k"] = "mutated"
+	series[0].Y = 999
+	e, _ := db.Get("b", "m")
+	if e.Attrs["k"] != "v" || e.Series[0].Y != 2 {
+		t.Error("Add must deep-copy attrs and series")
+	}
+}
+
+func TestMachinesBenchmarks(t *testing.T) {
+	db := sample()
+	wantM := []string{"DEC Alpha@300", "IBM Power2", "Linux/i686"}
+	if got := db.Machines(); !reflect.DeepEqual(got, wantM) {
+		t.Errorf("Machines = %v, want %v", got, wantM)
+	}
+	wantB := []string{"bw_mem.bcopy_libc", "lat_mem_rd"}
+	if got := db.Benchmarks(); !reflect.DeepEqual(got, wantB) {
+		t.Errorf("Benchmarks = %v, want %v", got, wantB)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	db := sample()
+	var buf bytes.Buffer
+	if err := db.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Fatalf("round-trip Len = %d, want %d", back.Len(), db.Len())
+	}
+	for _, e := range db.Entries() {
+		got, ok := back.Get(e.Benchmark, e.Machine)
+		if !ok {
+			t.Fatalf("lost entry %q/%q", e.Benchmark, e.Machine)
+		}
+		if !reflect.DeepEqual(got, e) {
+			t.Errorf("entry mismatch:\n got %+v\nwant %+v", got, e)
+		}
+	}
+}
+
+func TestDecodeEmptySeriesMarker(t *testing.T) {
+	db := &DB{}
+	_ = db.Add(Entry{Benchmark: "b", Machine: "m", Series: []Point{}})
+	var buf bytes.Buffer
+	if err := db.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := back.Get("b", "m")
+	if !e.IsSeries() {
+		t.Error("empty series did not survive round trip")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"entry \"b\" \"m\" \"us\" 1\nentry \"b2\" \"m\" \"us\" 1\nend", // nested
+		"attr \"k\" \"v\"",                      // misplaced attr
+		"point 1 2 3",                           // misplaced point
+		"end",                                   // end without entry
+		"bogus",                                 // unknown directive
+		"entry \"b\" \"m\" \"us\" notanum\nend", // bad scalar
+		"entry \"b\" \"m\" \"us\" 1",            // unterminated at EOF
+		"entry \"b\" \"m\" \"us\" 1\npoint x 2 3\nend", // bad point
+		"entry \"b\" \"m\" \"us\"\nend",                // wrong arity
+		"entry \"b \"m\" \"us\" 1\nend",                // bad quoting
+	}
+	for _, c := range cases {
+		if _, err := Decode(strings.NewReader(c)); err == nil {
+			t.Errorf("Decode(%q) should error", c)
+		}
+	}
+}
+
+func TestDecodeMissingHeader(t *testing.T) {
+	if _, err := Decode(strings.NewReader("entry \"b\" \"m\" \"us\" 1\nend\n")); err == nil {
+		t.Error("missing header should error")
+	}
+	// Empty input (no entries) is fine without a header.
+	db, err := Decode(strings.NewReader(""))
+	if err != nil || db.Len() != 0 {
+		t.Errorf("empty decode = %v, %v", db.Len(), err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := sample()
+	b := &DB{}
+	_ = b.Add(Entry{Benchmark: "bw_mem.bcopy_libc", Machine: "Linux/i686", Unit: "MB/s", Scalar: 99}) // overwrite
+	_ = b.Add(Entry{Benchmark: "lat_syscall", Machine: "HP K210", Unit: "us", Scalar: 10})            // new
+	a.Merge(b)
+	if a.Len() != 4 {
+		t.Errorf("merged Len = %d, want 4", a.Len())
+	}
+	v, _ := a.Scalar("bw_mem.bcopy_libc", "Linux/i686")
+	if v != 99 {
+		t.Errorf("merge should overwrite; got %v", v)
+	}
+}
+
+// Property: any DB with printable names round-trips through the text
+// format exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(names []string, scalars []float64, pts []float64) bool {
+		db := &DB{}
+		for i, n := range names {
+			bench := "b" + n
+			mach := "m " + n // include a space to exercise quoting
+			var s float64
+			if i < len(scalars) {
+				s = scalars[i]
+				if math.IsNaN(s) || math.IsInf(s, 0) {
+					s = 0
+				}
+			}
+			e := Entry{Benchmark: bench, Machine: mach, Unit: "us", Scalar: s}
+			if i%2 == 1 {
+				e.Series = []Point{}
+				for j := 0; j+2 < len(pts); j += 3 {
+					p := Point{pts[j], pts[j+1], pts[j+2]}
+					if math.IsNaN(p.X) || math.IsInf(p.X, 0) ||
+						math.IsNaN(p.X2) || math.IsInf(p.X2, 0) ||
+						math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+						continue
+					}
+					e.Series = append(e.Series, p)
+				}
+			}
+			if err := db.Add(e); err != nil {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if err := db.Encode(&buf); err != nil {
+			return false
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		if back.Len() != db.Len() {
+			return false
+		}
+		for _, e := range db.Entries() {
+			got, ok := back.Get(e.Benchmark, e.Machine)
+			if !ok || !reflect.DeepEqual(got, e) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntriesInsertionOrder(t *testing.T) {
+	db := &DB{}
+	_ = db.Add(Entry{Benchmark: "z", Machine: "m"})
+	_ = db.Add(Entry{Benchmark: "a", Machine: "m"})
+	es := db.Entries()
+	if es[0].Benchmark != "z" || es[1].Benchmark != "a" {
+		t.Errorf("Entries not in insertion order: %v", es)
+	}
+}

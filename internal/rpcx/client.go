@@ -1,0 +1,79 @@
+package rpcx
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client issues RPC calls over one transport connection. It is safe
+// for sequential use; concurrent callers are serialized.
+type Client struct {
+	mu       sync.Mutex
+	conn     net.Conn
+	tcp      bool
+	prog     uint32
+	vers     uint32
+	xid      uint32
+	enc      *Encoder
+	maxBytes int
+	// Timeout bounds each UDP call (retransmission is the caller's
+	// problem, as with real UDP RPC). Zero means 5s.
+	Timeout time.Duration
+	buf     []byte
+}
+
+// DialTCP connects a client to a TCP RPC server.
+func DialTCP(addr string, prog, vers uint32) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, tcp: true, prog: prog, vers: vers, enc: NewEncoder(), xid: 1}, nil
+}
+
+// DialUDP connects a client to a UDP RPC server.
+func DialUDP(addr string, prog, vers uint32) (*Client, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, prog: prog, vers: vers, enc: NewEncoder(), xid: 1, buf: make([]byte, 64<<10)}, nil
+}
+
+// Close releases the transport.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Call invokes proc with raw XDR args and returns the raw XDR results.
+func (c *Client) Call(proc uint32, args []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.xid++
+	encodeCall(c.enc, c.xid, c.prog, c.vers, proc, args)
+	if c.tcp {
+		if err := writeRecord(c.conn, c.enc.Bytes()); err != nil {
+			return nil, err
+		}
+		reply, err := readRecord(c.conn, c.maxBytes)
+		if err != nil {
+			return nil, err
+		}
+		return decodeReply(reply, c.xid)
+	}
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	if err := c.conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	if _, err := c.conn.Write(c.enc.Bytes()); err != nil {
+		return nil, err
+	}
+	n, err := c.conn.Read(c.buf)
+	if err != nil {
+		return nil, fmt.Errorf("rpcx: udp call: %w", err)
+	}
+	return decodeReply(c.buf[:n], c.xid)
+}

@@ -1,0 +1,311 @@
+package rpcx
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestXDRRoundTripPrimitives(t *testing.T) {
+	e := NewEncoder()
+	e.Uint32(42)
+	e.Int32(-7)
+	e.Uint64(1 << 40)
+	e.Int64(-1 << 40)
+	e.Bool(true)
+	e.Bool(false)
+	e.String("hello")
+	e.Opaque([]byte{1, 2, 3}) // needs 1 byte padding
+
+	d := NewDecoder(e.Bytes())
+	if v, _ := d.Uint32(); v != 42 {
+		t.Errorf("Uint32 = %d", v)
+	}
+	if v, _ := d.Int32(); v != -7 {
+		t.Errorf("Int32 = %d", v)
+	}
+	if v, _ := d.Uint64(); v != 1<<40 {
+		t.Errorf("Uint64 = %d", v)
+	}
+	if v, _ := d.Int64(); v != -1<<40 {
+		t.Errorf("Int64 = %d", v)
+	}
+	if v, _ := d.Bool(); !v {
+		t.Error("Bool true lost")
+	}
+	if v, _ := d.Bool(); v {
+		t.Error("Bool false lost")
+	}
+	if s, _ := d.String(0); s != "hello" {
+		t.Errorf("String = %q", s)
+	}
+	p, err := d.Opaque(0)
+	if err != nil || !bytes.Equal(p, []byte{1, 2, 3}) {
+		t.Errorf("Opaque = %v, %v", p, err)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", d.Remaining())
+	}
+}
+
+func TestXDRAlignment(t *testing.T) {
+	// Every opaque encoding must be 4-byte aligned.
+	for n := 0; n < 9; n++ {
+		e := NewEncoder()
+		e.Opaque(make([]byte, n))
+		if len(e.Bytes())%4 != 0 {
+			t.Errorf("opaque(%d) encodes to %d bytes", n, len(e.Bytes()))
+		}
+	}
+}
+
+func TestXDRTruncation(t *testing.T) {
+	d := NewDecoder([]byte{0, 0})
+	if _, err := d.Uint32(); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+	// Opaque length exceeding limit.
+	e := NewEncoder()
+	e.Uint32(1 << 30)
+	d = NewDecoder(e.Bytes())
+	if _, err := d.Opaque(1024); err == nil {
+		t.Error("oversized opaque should error")
+	}
+}
+
+// Property: opaque blobs round-trip exactly.
+func TestQuickXDROpaqueRoundTrip(t *testing.T) {
+	f := func(p []byte) bool {
+		e := NewEncoder()
+		e.Opaque(p)
+		d := NewDecoder(e.Bytes())
+		q, err := d.Opaque(len(p) + 1)
+		if err != nil {
+			return false
+		}
+		if p == nil {
+			return len(q) == 0
+		}
+		return reflect.DeepEqual(p, q) || (len(p) == 0 && len(q) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: encoder reuse via Reset never leaks prior content.
+func TestQuickEncoderReset(t *testing.T) {
+	f := func(a, b []byte) bool {
+		e := NewEncoder()
+		e.Opaque(a)
+		e.Reset()
+		e.Opaque(b)
+		d := NewDecoder(e.Bytes())
+		q, err := d.Opaque(len(b) + 1)
+		return err == nil && bytes.Equal(q, b) && d.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+const (
+	testProg = 0x20000042
+	testVers = 1
+	procEcho = 1
+	procAdd  = 2
+)
+
+// startServer registers an echo and an add procedure on TCP and UDP.
+func startServer(t *testing.T) (tcpAddr, udpAddr string, stop func()) {
+	t.Helper()
+	srv := NewServer(0)
+	srv.Register(testProg, testVers, procEcho, func(args []byte) ([]byte, error) {
+		return args, nil
+	})
+	srv.Register(testProg, testVers, procAdd, func(args []byte) ([]byte, error) {
+		d := NewDecoder(args)
+		a, err := d.Int32()
+		if err != nil {
+			return nil, err
+		}
+		b, err := d.Int32()
+		if err != nil {
+			return nil, err
+		}
+		e := NewEncoder()
+		e.Int32(a + b)
+		return e.Bytes(), nil
+	})
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.ServeTCP(l) }()
+	go func() { _ = srv.ServeUDP(pc) }()
+	return l.Addr().String(), pc.LocalAddr().String(), func() {
+		_ = l.Close()
+		_ = pc.Close()
+	}
+}
+
+func TestCallOverTCPAndUDP(t *testing.T) {
+	tcpAddr, udpAddr, stop := startServer(t)
+	defer stop()
+
+	for _, transport := range []string{"tcp", "udp"} {
+		var c *Client
+		var err error
+		if transport == "tcp" {
+			c, err = DialTCP(tcpAddr, testProg, testVers)
+		} else {
+			c, err = DialUDP(udpAddr, testProg, testVers)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := NewEncoder()
+		e.Int32(40)
+		e.Int32(2)
+		out, err := c.Call(procAdd, e.Bytes())
+		if err != nil {
+			t.Fatalf("%s add: %v", transport, err)
+		}
+		sum, err := NewDecoder(out).Int32()
+		if err != nil || sum != 42 {
+			t.Errorf("%s add = %d, %v", transport, sum, err)
+		}
+
+		// Echo keeps payload intact across many calls.
+		for i := 0; i < 10; i++ {
+			payload := bytes.Repeat([]byte{byte(i)}, 4*(i+1))
+			out, err = c.Call(procEcho, payload)
+			if err != nil || !bytes.Equal(out, payload) {
+				t.Fatalf("%s echo %d: %v %v", transport, i, out, err)
+			}
+		}
+		_ = c.Close()
+	}
+}
+
+func TestCallErrors(t *testing.T) {
+	tcpAddr, _, stop := startServer(t)
+	defer stop()
+	c, err := DialTCP(tcpAddr, testProg, testVers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	if _, err := c.Call(99, nil); !errors.Is(err, ErrProcUnavailable) {
+		t.Errorf("unknown proc err = %v", err)
+	}
+
+	c2, err := DialTCP(tcpAddr, 0xdead, testVers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c2.Close() }()
+	if _, err := c2.Call(procEcho, nil); !errors.Is(err, ErrProgUnavailable) {
+		t.Errorf("unknown prog err = %v", err)
+	}
+
+	// Handler error surfaces as a system error: add with short args.
+	if _, err := c.Call(procAdd, []byte{0, 0, 0, 1}); !errors.Is(err, ErrSystemError) {
+		t.Errorf("short args err = %v", err)
+	}
+}
+
+func TestGarbagePacketDoesNotKillUDPServer(t *testing.T) {
+	_, udpAddr, stop := startServer(t)
+	defer stop()
+
+	raw, err := net.Dial("udp", udpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Write([]byte{1, 2, 3}); err != nil { // garbage
+		t.Fatal(err)
+	}
+	_ = raw.Close()
+
+	time.Sleep(20 * time.Millisecond)
+	c, err := DialUDP(udpAddr, testProg, testVers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	out, err := c.Call(procEcho, []byte{9, 9, 9, 9})
+	if err != nil || !bytes.Equal(out, []byte{9, 9, 9, 9}) {
+		t.Errorf("server unhealthy after garbage: %v %v", out, err)
+	}
+}
+
+func TestRecordMarkingFragments(t *testing.T) {
+	// Hand-build a two-fragment record and ensure readRecord
+	// reassembles it.
+	var buf bytes.Buffer
+	frag1 := []byte("hello ")
+	frag2 := []byte("world")
+	hdr := func(n int, last bool) []byte {
+		v := uint32(n)
+		if last {
+			v |= lastFragment
+		}
+		return []byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+	}
+	buf.Write(hdr(len(frag1), false))
+	buf.Write(frag1)
+	buf.Write(hdr(len(frag2), true))
+	buf.Write(frag2)
+
+	got, err := readRecord(&buf, 0)
+	if err != nil || string(got) != "hello world" {
+		t.Errorf("readRecord = %q, %v", got, err)
+	}
+
+	// Oversized record is rejected.
+	var big bytes.Buffer
+	big.Write(hdr(100, true))
+	big.Write(make([]byte, 100))
+	if _, err := readRecord(&big, 10); err == nil {
+		t.Error("oversized record should error")
+	}
+}
+
+func TestDecodeReplyXIDMismatch(t *testing.T) {
+	e := NewEncoder()
+	encodeReply(e, 7, acceptSuccess, nil)
+	if _, err := decodeReply(e.Bytes(), 8); err == nil {
+		t.Error("xid mismatch should error")
+	}
+}
+
+// Property: encodeCall/decodeCall round-trips header fields and args.
+func TestQuickCallRoundTrip(t *testing.T) {
+	f := func(xid, prog, vers, proc uint32, args []byte) bool {
+		if len(args)%4 != 0 {
+			args = args[:len(args)/4*4]
+		}
+		e := NewEncoder()
+		encodeCall(e, xid, prog, vers, proc, args)
+		c, err := decodeCall(e.Bytes())
+		if err != nil {
+			return false
+		}
+		return c.XID == xid && c.Prog == prog && c.Vers == vers &&
+			c.Proc == proc && bytes.Equal(c.Args, args)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

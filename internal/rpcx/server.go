@@ -1,0 +1,118 @@
+package rpcx
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// Handler services one procedure: raw XDR args in, raw XDR results out.
+type Handler func(args []byte) ([]byte, error)
+
+// procKey identifies a registered procedure.
+type procKey struct {
+	prog, vers, proc uint32
+}
+
+// Server dispatches RPC calls to registered handlers over TCP and UDP.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[procKey]Handler
+	maxBytes int
+}
+
+// NewServer returns an empty server. maxBytes bounds message sizes
+// (0 = 1MB).
+func NewServer(maxBytes int) *Server {
+	return &Server{handlers: make(map[procKey]Handler), maxBytes: maxBytes}
+}
+
+// Register installs a handler for (prog, vers, proc).
+func (s *Server) Register(prog, vers, proc uint32, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[procKey{prog, vers, proc}] = h
+}
+
+// dispatch runs one call and produces the reply bytes.
+func (s *Server) dispatch(msg []byte) []byte {
+	e := NewEncoder()
+	c, err := decodeCall(msg)
+	if err != nil {
+		// Garbage on the wire: reply with a system error using a zero
+		// XID if we could not even read one.
+		encodeReply(e, c.XID, acceptGarbageArgs, nil)
+		return e.Bytes()
+	}
+	s.mu.RLock()
+	h, ok := s.handlers[procKey{c.Prog, c.Vers, c.Proc}]
+	var progKnown bool
+	for k := range s.handlers {
+		if k.prog == c.Prog && k.vers == c.Vers {
+			progKnown = true
+			break
+		}
+	}
+	s.mu.RUnlock()
+	switch {
+	case !progKnown:
+		encodeReply(e, c.XID, acceptProgUnavail, nil)
+	case !ok:
+		encodeReply(e, c.XID, acceptProcUnavail, nil)
+	default:
+		out, err := h(c.Args)
+		if err != nil {
+			encodeReply(e, c.XID, acceptSystemErr, nil)
+		} else {
+			encodeReply(e, c.XID, acceptSuccess, out)
+		}
+	}
+	return e.Bytes()
+}
+
+// ServeTCP accepts connections until the listener closes. Each
+// connection is serviced by one goroutine, calls handled in order
+// (matching Sun RPC's per-connection behaviour).
+func (s *Server) ServeTCP(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	for {
+		msg, err := readRecord(conn, s.maxBytes)
+		if err != nil {
+			return
+		}
+		if err := writeRecord(conn, s.dispatch(msg)); err != nil {
+			return
+		}
+	}
+}
+
+// ServeUDP answers datagrams until the connection closes.
+func (s *Server) ServeUDP(conn net.PacketConn) error {
+	buf := make([]byte, 64<<10)
+	for {
+		n, addr, err := conn.ReadFrom(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		reply := s.dispatch(buf[:n])
+		if _, err := conn.WriteTo(reply, addr); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package simdisk
+
+import (
+	"testing"
+
+	"repro/internal/ptime"
+	"repro/internal/sim"
+)
+
+func testDisk(mutate func(*Config)) (*Disk, *sim.Clock) {
+	clk := &sim.Clock{}
+	cfg := Config{
+		RPM:         5400,
+		SeekAvgMS:   10,
+		SeekTrackMS: 2,
+		MediaMBs:    6,
+		BusMBs:      10,
+		OverheadUS:  1000,
+		TrackBufKB:  64,
+		SizeMB:      256,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return New(clk, cfg), clk
+}
+
+func TestDefaults(t *testing.T) {
+	d := New(&sim.Clock{}, Config{})
+	cfg := d.Config()
+	if cfg.RPM != 5400 || cfg.SectorSize != 512 || cfg.TrackBufKB != 64 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if d.Size() != 1<<30 {
+		t.Errorf("Size = %d", d.Size())
+	}
+}
+
+func TestBounds(t *testing.T) {
+	d, _ := testDisk(nil)
+	if err := d.Read(-1, 512); err == nil {
+		t.Error("negative offset should error")
+	}
+	if err := d.Read(0, 0); err == nil {
+		t.Error("zero length should error")
+	}
+	if err := d.Read(d.Size()-256, 512); err == nil {
+		t.Error("read past end should error")
+	}
+	if err := d.Write(d.Size(), 512); err == nil {
+		t.Error("write past end should error")
+	}
+}
+
+// TestSequentialReadsHitTrackBuffer is the Table 17 mechanism: after the
+// first media access, sequential 512-byte reads are served from the
+// read-ahead buffer at command-overhead cost.
+func TestSequentialReadsHitTrackBuffer(t *testing.T) {
+	d, clk := testDisk(nil)
+	if err := d.Read(0, 512); err != nil {
+		t.Fatal(err)
+	}
+	first := clk.Now()
+	if first < 5*ptime.Millisecond {
+		t.Errorf("first read = %v, want >= rotation+media cost", first)
+	}
+
+	before := clk.Now()
+	const n = 100
+	for i := int64(1); i <= n; i++ {
+		if err := d.Read(i*512, 512); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per := (clk.Now() - before).DivN(n)
+	// Overhead 1000us + 512B over a 10MB/s bus (~51us) = ~1051us.
+	if per < 1000*ptime.Microsecond || per > 1200*ptime.Microsecond {
+		t.Errorf("buffered read = %v, want ~1.05ms (command overhead)", per)
+	}
+	if d.BufferHits != n {
+		t.Errorf("BufferHits = %d, want %d", d.BufferHits, n)
+	}
+}
+
+func TestBufferRearmsOnMiss(t *testing.T) {
+	d, _ := testDisk(nil)
+	_ = d.Read(0, 512)
+	// Jump past the 64K buffer: must be a media access.
+	if err := d.Read(1<<20, 512); err != nil {
+		t.Fatal(err)
+	}
+	if d.MediaReads != 2 {
+		t.Errorf("MediaReads = %d, want 2", d.MediaReads)
+	}
+	// And now the new window is buffered.
+	_ = d.Read(1<<20+512, 512)
+	if d.BufferHits != 1 {
+		t.Errorf("BufferHits = %d, want 1", d.BufferHits)
+	}
+}
+
+func TestRandomCostsMoreThanSequential(t *testing.T) {
+	d, clk := testDisk(nil)
+	_ = d.Read(0, 512)
+	before := clk.Now()
+	for i := int64(1); i <= 32; i++ {
+		_ = d.Read(i*512, 512)
+	}
+	seq := (clk.Now() - before).DivN(32)
+
+	d2, clk2 := testDisk(nil)
+	_ = d2.Read(0, 512)
+	before = clk2.Now()
+	// Strided far beyond the track buffer: every read seeks.
+	for i := int64(1); i <= 32; i++ {
+		_ = d2.Read(i*(4<<20), 512)
+	}
+	rnd := (clk2.Now() - before).DivN(32)
+
+	if rnd < seq*5 {
+		t.Errorf("random (%v) should dwarf sequential (%v)", rnd, seq)
+	}
+}
+
+func TestSeekCurveMonotone(t *testing.T) {
+	d, _ := testDisk(nil)
+	short := d.seekTime(d.trackBytes) // one track away
+	d.curTrack = 0
+	long := d.seekTime(d.trackBytes * (d.tracks - 1)) // full stroke
+	if short <= 0 || long <= short {
+		t.Errorf("seek curve broken: short %v long %v", short, long)
+	}
+	// Full stroke should exceed the 1/3-stroke average.
+	if long < ptime.FromMS(10) {
+		t.Errorf("full-stroke seek %v below average seek", long)
+	}
+	// Same-track seek is free.
+	if s := d.seekTime(d.trackBytes * (d.tracks - 1)); s != 0 {
+		t.Errorf("same-track seek = %v, want 0", s)
+	}
+}
+
+func TestWriteInvalidatesBuffer(t *testing.T) {
+	d, _ := testDisk(nil)
+	_ = d.Read(0, 512)
+	_ = d.Write(512, 512) // overlaps buffer window
+	_ = d.Read(1024, 512)
+	if d.BufferHits != 0 {
+		t.Errorf("BufferHits = %d after invalidating write, want 0", d.BufferHits)
+	}
+}
+
+func TestMetadataWriteIsMilliseconds(t *testing.T) {
+	d, clk := testDisk(nil)
+	before := clk.Now()
+	const n = 20
+	for i := 0; i < n; i++ {
+		d.MetadataWrite()
+	}
+	per := (clk.Now() - before).DivN(n)
+	// "a matter of tens of milliseconds": seek + rotation + overhead.
+	if per < 5*ptime.Millisecond || per > 40*ptime.Millisecond {
+		t.Errorf("metadata write = %v, want 5-40ms", per)
+	}
+}
+
+func TestLogWriteCheaperThanMetadata(t *testing.T) {
+	d, clk := testDisk(nil)
+	before := clk.Now()
+	const n = 20
+	for i := 0; i < n; i++ {
+		d.LogWrite(0)
+	}
+	logPer := (clk.Now() - before).DivN(n)
+
+	d2, clk2 := testDisk(nil)
+	before = clk2.Now()
+	for i := 0; i < n; i++ {
+		d2.MetadataWrite()
+	}
+	metaPer := (clk2.Now() - before).DivN(n)
+
+	if logPer >= metaPer {
+		t.Errorf("log write %v should beat scattered metadata write %v", logPer, metaPer)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() ptime.Duration {
+		d, clk := testDisk(nil)
+		for i := 0; i < 50; i++ {
+			d.MetadataWrite()
+		}
+		return clk.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("runs differ: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,276 @@
+package simfs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ptime"
+	"repro/internal/sim"
+	"repro/internal/simdisk"
+	"repro/internal/simmem"
+	"repro/internal/simos"
+)
+
+// rig assembles clock+cpu+mem+os+disk for FS tests.
+type rig struct {
+	clk  *sim.Clock
+	os   *simos.OS
+	disk *simdisk.Disk
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	clk := &sim.Clock{}
+	cpu := sim.NewCPU(clk, sim.CPUConfig{MHz: 100, IssueWidth: 4})
+	mem, err := simmem.New(cpu, simmem.Config{
+		Caches: []simmem.CacheConfig{
+			{Name: "L1", Size: 8 << 10, LineSize: 32, Assoc: 2, LatencyNS: 5, FillNS: 5},
+			{Name: "L2", Size: 256 << 10, LineSize: 32, Assoc: 4, LatencyNS: 50, FillNS: 40},
+		},
+		DRAM: simmem.DRAMConfig{LatencyNS: 300, FillNS: 100, WritebackNS: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := simos.New(cpu, mem, simos.Config{SyscallNS: 3000, CtxSwitchNS: 6000})
+	disk := simdisk.New(clk, simdisk.Config{})
+	return &rig{clk: clk, os: o, disk: disk}
+}
+
+func (r *rig) fs(t *testing.T, cfg Config) *FS {
+	t.Helper()
+	fs, err := New(r.os, r.disk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// createDeleteLatency runs the Table 16 workload: create then delete
+// 1000 zero-length files, returning per-op microseconds.
+func createDeleteLatency(t *testing.T, fs *FS, clk *sim.Clock) (create, del float64) {
+	t.Helper()
+	const n = 1000
+	before := clk.Now()
+	for i := 0; i < n; i++ {
+		if err := fs.Create(fmt.Sprintf("f%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	create = (clk.Now() - before).DivN(n).Microseconds()
+	before = clk.Now()
+	for i := 0; i < n; i++ {
+		if err := fs.Delete(fmt.Sprintf("f%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	del = (clk.Now() - before).DivN(n).Microseconds()
+	return create, del
+}
+
+// TestMetadataModeOrdering is the emergent-Table-16 test: async is
+// microseconds, logged is milliseconds, sync is tens of milliseconds.
+func TestMetadataModeOrdering(t *testing.T) {
+	rA := newRig(t)
+	async := rA.fs(t, Config{Name: "ext2", Mode: ModeAsync, CreateCPUUS: 700, DeleteCPUUS: 40})
+	ca, da := createDeleteLatency(t, async, rA.clk)
+
+	rL := newRig(t)
+	logged := rL.fs(t, Config{Name: "xfs", Mode: ModeLogged, CreateCPUUS: 100, DeleteCPUUS: 100})
+	cl, _ := createDeleteLatency(t, logged, rL.clk)
+
+	rS := newRig(t)
+	syncfs := rS.fs(t, Config{Name: "ufs", Mode: ModeSync, CreateCPUUS: 100, DeleteCPUUS: 100})
+	cs, ds := createDeleteLatency(t, syncfs, rS.clk)
+
+	if !(ca < cl && cl < cs) {
+		t.Errorf("create ordering broken: async %.0fus, logged %.0fus, sync %.0fus", ca, cl, cs)
+	}
+	// Async stays in the hundreds of microseconds; sync reaches 10ms+.
+	if ca > 2000 {
+		t.Errorf("async create = %.0fus, want < 2ms", ca)
+	}
+	if cs < 10000 {
+		t.Errorf("sync create = %.0fus, want >= 10ms", cs)
+	}
+	// Sync delete does fewer writes than create (1 vs 2 by default).
+	if ds >= cs {
+		t.Errorf("sync delete %.0fus should be cheaper than create %.0fus", ds, cs)
+	}
+	_ = da
+}
+
+func TestCreateDeleteErrors(t *testing.T) {
+	r := newRig(t)
+	fs := r.fs(t, Config{Mode: ModeAsync})
+	if err := fs.Create(""); err == nil {
+		t.Error("empty name should error")
+	}
+	if err := fs.Create("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("a"); err == nil {
+		t.Error("duplicate create should error")
+	}
+	if err := fs.Delete("nope"); err == nil {
+		t.Error("delete of missing file should error")
+	}
+	if err := fs.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.NumFiles() != 0 {
+		t.Errorf("NumFiles = %d, want 0", fs.NumFiles())
+	}
+}
+
+func TestModeRequiresDisk(t *testing.T) {
+	r := newRig(t)
+	if _, err := New(r.os, nil, Config{Mode: ModeSync}); err == nil {
+		t.Error("sync FS without disk should error")
+	}
+	if _, err := New(r.os, nil, Config{Mode: ModeAsync}); err != nil {
+		t.Errorf("async FS without disk should work: %v", err)
+	}
+}
+
+func TestWriteFileAndSize(t *testing.T) {
+	r := newRig(t)
+	fs := r.fs(t, Config{Mode: ModeAsync})
+	if err := fs.WriteFile("data", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	sz, err := fs.Size("data")
+	if err != nil || sz != 1<<20 {
+		t.Errorf("Size = %d, %v", sz, err)
+	}
+	if _, err := fs.Size("nope"); err == nil {
+		t.Error("Size of missing file should error")
+	}
+	if err := fs.WriteFile("data", -1); err == nil {
+		t.Error("negative size should error")
+	}
+	// Rewriting an existing file must not error.
+	if err := fs.WriteFile("data", 2<<20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCachedBounds(t *testing.T) {
+	r := newRig(t)
+	fs := r.fs(t, Config{Mode: ModeAsync})
+	_ = fs.WriteFile("data", 1<<20)
+	buf := r.os.Mem().Alloc(64 << 10)
+	if err := fs.ReadCached("nope", buf, 0, 10); err == nil {
+		t.Error("read of missing file should error")
+	}
+	if err := fs.ReadCached("data", buf, 0, 2<<20); err == nil {
+		t.Error("read past EOF should error")
+	}
+	if err := fs.ReadCached("data", buf, -1, 10); err == nil {
+		t.Error("negative offset should error")
+	}
+	if err := fs.ReadCached("data", buf, 0, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRereadNearBcopy: §5.3 — "as the file system overhead goes to
+// zero, the file reread case is virtually the same as the library bcopy
+// case". Our reread should be within ~2.5x of one bcopy (it also sums
+// the destination buffer).
+func TestRereadNearBcopy(t *testing.T) {
+	r := newRig(t)
+	fs := r.fs(t, Config{Mode: ModeAsync})
+	const n = 2 << 20
+	_ = fs.WriteFile("data", n)
+	mem := r.os.Mem()
+	buf := mem.Alloc(64 << 10)
+
+	src := mem.Alloc(n)
+	dst := mem.Alloc(n)
+	before := r.clk.Now()
+	mem.StreamCopy(src, dst, n)
+	bcopy := r.clk.Now() - before
+
+	before = r.clk.Now()
+	if err := fs.ReadCached("data", buf, 0, n); err != nil {
+		t.Fatal(err)
+	}
+	reread := r.clk.Now() - before
+
+	ratio := float64(reread) / float64(bcopy)
+	if ratio < 0.5 || ratio > 2.5 {
+		t.Errorf("reread/bcopy = %.2f, want ~1 (0.5-2.5)", ratio)
+	}
+}
+
+// TestMmapFaultCostDecides: with cheap faults mmap beats read() (no
+// copy); with expensive faults it loses ("File mmap performance ...
+// often dramatically worse").
+func TestMmapFaultCostDecides(t *testing.T) {
+	const n = 2 << 20
+	mmapTime := func(faultUS float64) ptime.Duration {
+		r := newRig(t)
+		fs := r.fs(t, Config{Mode: ModeAsync, MmapFaultUS: faultUS})
+		_ = fs.WriteFile("data", n)
+		before := r.clk.Now()
+		if err := fs.MmapRead("data", 0, n); err != nil {
+			t.Fatal(err)
+		}
+		return r.clk.Now() - before
+	}
+	readTime := func() ptime.Duration {
+		r := newRig(t)
+		fs := r.fs(t, Config{Mode: ModeAsync})
+		_ = fs.WriteFile("data", n)
+		buf := r.os.Mem().Alloc(64 << 10)
+		before := r.clk.Now()
+		if err := fs.ReadCached("data", buf, 0, n); err != nil {
+			t.Fatal(err)
+		}
+		return r.clk.Now() - before
+	}
+	cheap := mmapTime(1)
+	costly := mmapTime(200)
+	rd := readTime()
+	if cheap >= rd {
+		t.Errorf("cheap-fault mmap (%v) should beat read (%v)", cheap, rd)
+	}
+	if costly <= rd {
+		t.Errorf("costly-fault mmap (%v) should lose to read (%v)", costly, rd)
+	}
+}
+
+func TestMmapBounds(t *testing.T) {
+	r := newRig(t)
+	fs := r.fs(t, Config{Mode: ModeAsync})
+	_ = fs.WriteFile("data", 4096)
+	if err := fs.MmapRead("nope", 0, 10); err == nil {
+		t.Error("mmap of missing file should error")
+	}
+	if err := fs.MmapRead("data", 0, 8192); err == nil {
+		t.Error("mmap past EOF should error")
+	}
+	if err := fs.MmapRead("data", 0, 4096); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeAsync.String() != "async" || ModeLogged.String() != "logged" || ModeSync.String() != "sync" {
+		t.Error("mode names broken")
+	}
+	if Mode(99).String() == "" {
+		t.Error("unknown mode should still render")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	r := newRig(t)
+	fs := r.fs(t, Config{Mode: ModeAsync})
+	cfg := fs.Config()
+	if cfg.LogBytes != 512 || cfg.SyncWritesPerCreate != 2 || cfg.SyncWritesPerDelete != 1 ||
+		cfg.PageSize != 4096 || cfg.ReadChunk != 64<<10 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}

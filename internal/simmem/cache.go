@@ -1,0 +1,574 @@
+// Package simmem implements the simulated memory hierarchy: N levels of
+// set-associative caches, a TLB, and DRAM, with separate cost models for
+// dependent (back-to-back) loads and streaming transfers.
+//
+// This is the substrate behind the paper's most important benchmark, the
+// memory read latency pointer chase (§6.1-6.2, Figure 1, Table 6), and
+// behind the bandwidth suite (§5.1, Table 2). The pointer chase issues
+// one simulated load per list element through this hierarchy; the
+// staircase in Figure 1 emerges from real hits and misses in these
+// structures, not from a lookup table. The paper's definition is honored
+// precisely: "lmbench measures back-to-back-load latency because it is
+// the only measurement that may be easily measured from software and
+// because we feel that it is what most software developers consider to
+// be memory latency."
+package simmem
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ptime"
+	"repro/internal/sim"
+)
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	// Name labels the level in stats ("L1", "L2").
+	Name string
+	// Size is the capacity in bytes.
+	Size int64
+	// LineSize is the cache line size in bytes.
+	LineSize int
+	// Assoc is the set associativity; 0 means fully associative.
+	Assoc int
+	// LatencyNS is the back-to-back dependent-load latency serviced by
+	// this level, in nanoseconds, as the paper reports it (Table 6):
+	// excluding the one-cycle load instruction itself.
+	LatencyNS float64
+	// FillNS is the time to stream one line out of this level under
+	// pipelined sequential access (bandwidth model). Defaults to
+	// LatencyNS when zero. Streaming fills are typically faster than
+	// back-to-back loads because successive fills overlap.
+	FillNS float64
+}
+
+func (c CacheConfig) fill() float64 {
+	if c.FillNS > 0 {
+		return c.FillNS
+	}
+	return c.LatencyNS
+}
+
+// DRAMConfig describes main memory.
+type DRAMConfig struct {
+	// LatencyNS is the back-to-back load latency from main memory
+	// (e.g. 400ns on the 300MHz DEC 8400 per §6.1).
+	LatencyNS float64
+	// FillNS is the streaming line-fill time (page-mode bursts make
+	// this shorter than LatencyNS). Defaults to LatencyNS.
+	FillNS float64
+	// WritebackNS is the cost of retiring one dirty line, charged when
+	// a dirty line leaves the last cache level during streaming ops.
+	// Defaults to FillNS.
+	WritebackNS float64
+}
+
+func (d DRAMConfig) fill() float64 {
+	if d.FillNS > 0 {
+		return d.FillNS
+	}
+	return d.LatencyNS
+}
+
+func (d DRAMConfig) writeback() float64 {
+	if d.WritebackNS > 0 {
+		return d.WritebackNS
+	}
+	return d.fill()
+}
+
+// TLBConfig describes the TLB. Entries == 0 disables TLB modeling.
+type TLBConfig struct {
+	Entries  int
+	PageSize int
+	Assoc    int // 0 means fully associative
+	// MissNS is the page-table walk cost per TLB miss.
+	MissNS float64
+}
+
+// Config assembles a hierarchy.
+type Config struct {
+	Caches []CacheConfig
+	DRAM   DRAMConfig
+	TLB    TLBConfig
+	// ReadOpsPerWord, WriteOpsPerWord and CopyOpsPerWord are the
+	// instruction counts per word of the unrolled bandwidth loops
+	// (load+add, store+increment, load+store). Defaults 2, 1, 2.
+	ReadOpsPerWord  int
+	WriteOpsPerWord int
+	CopyOpsPerWord  int
+	// WordSize is the loop word size in bytes (default 4, "on most
+	// (perhaps all) systems measured the integer size is 4 bytes").
+	WordSize int
+	// HWCopy models bcopy hardware assistance (e.g. SPARC V9 block
+	// moves): destination lines are not read before being overwritten,
+	// so a copy moves 2x memory rather than 3x.
+	HWCopy bool
+	// NoWriteAllocate models write-through/no-allocate stores: streaming
+	// writes do not fill the destination line at all.
+	NoWriteAllocate bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReadOpsPerWord <= 0 {
+		c.ReadOpsPerWord = 2
+	}
+	if c.WriteOpsPerWord <= 0 {
+		c.WriteOpsPerWord = 1
+	}
+	if c.CopyOpsPerWord <= 0 {
+		c.CopyOpsPerWord = 2
+	}
+	if c.WordSize <= 0 {
+		c.WordSize = 4
+	}
+	return c
+}
+
+// line is one cache line's bookkeeping.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// cache is one level's state.
+type cache struct {
+	cfg   CacheConfig
+	assoc int
+	nsets uint64
+	lines []line // sets * assoc, laid out set-major
+	tick  uint64
+}
+
+func newCache(cfg CacheConfig) (*cache, error) {
+	if cfg.Size <= 0 || cfg.LineSize <= 0 {
+		return nil, fmt.Errorf("simmem: cache %q needs positive size and line size", cfg.Name)
+	}
+	totalLines := cfg.Size / int64(cfg.LineSize)
+	if totalLines <= 0 {
+		return nil, fmt.Errorf("simmem: cache %q smaller than one line", cfg.Name)
+	}
+	assoc := cfg.Assoc
+	if assoc <= 0 || int64(assoc) > totalLines {
+		assoc = int(totalLines) // fully associative
+	}
+	nsets := totalLines / int64(assoc)
+	if nsets <= 0 {
+		nsets = 1
+	}
+	return &cache{
+		cfg:   cfg,
+		assoc: assoc,
+		nsets: uint64(nsets),
+		lines: make([]line, uint64(assoc)*uint64(nsets)),
+	}, nil
+}
+
+func (c *cache) setFor(addr uint64) (uint64, uint64) {
+	lineAddr := addr / uint64(c.cfg.LineSize)
+	return lineAddr % c.nsets, lineAddr
+}
+
+// lookup probes for addr; on hit it refreshes LRU (and optionally marks
+// dirty) and returns true.
+func (c *cache) lookup(addr uint64, markDirty bool) bool {
+	set, tag := c.setFor(addr)
+	base := set * uint64(c.assoc)
+	for i := uint64(0); i < uint64(c.assoc); i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == tag {
+			c.tick++
+			l.lru = c.tick
+			if markDirty {
+				l.dirty = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// insert places addr's line, evicting the LRU way if needed. It returns
+// the evicted line's address and whether it was valid and dirty.
+func (c *cache) insert(addr uint64, dirty bool) (evictedAddr uint64, evictedDirty, evictedValid bool) {
+	set, tag := c.setFor(addr)
+	base := set * uint64(c.assoc)
+	victim := base
+	for i := uint64(0); i < uint64(c.assoc); i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == tag {
+			// Already present (refill race); refresh.
+			c.tick++
+			l.lru = c.tick
+			if dirty {
+				l.dirty = true
+			}
+			return 0, false, false
+		}
+		if !l.valid {
+			victim = base + i
+		} else if c.lines[victim].valid && l.lru < c.lines[victim].lru {
+			victim = base + i
+		}
+	}
+	v := &c.lines[victim]
+	if v.valid {
+		evictedAddr = v.tag * uint64(c.cfg.LineSize)
+		evictedDirty = v.dirty
+		evictedValid = true
+	}
+	c.tick++
+	*v = line{tag: tag, valid: true, dirty: dirty, lru: c.tick}
+	return evictedAddr, evictedDirty, evictedValid
+}
+
+// invalidate drops addr's line if present, reporting whether it was
+// present and dirty (back-invalidation for strict inclusion).
+func (c *cache) invalidate(addr uint64) (wasValid, wasDirty bool) {
+	set, tag := c.setFor(addr)
+	base := set * uint64(c.assoc)
+	for i := uint64(0); i < uint64(c.assoc); i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == tag {
+			wasValid, wasDirty = true, l.dirty
+			*l = line{}
+			return wasValid, wasDirty
+		}
+	}
+	return false, false
+}
+
+// writeback marks addr's line dirty if present, without refreshing its
+// LRU age (a victim writeback is not a demand use). Reports presence.
+func (c *cache) writeback(addr uint64) bool {
+	set, tag := c.setFor(addr)
+	base := set * uint64(c.assoc)
+	for i := uint64(0); i < uint64(c.assoc); i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == tag {
+			l.dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+func (c *cache) flush() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+}
+
+// tlb reuses the cache machinery over page-granular "lines".
+type tlb struct {
+	c   *cache
+	cfg TLBConfig
+}
+
+func newTLB(cfg TLBConfig) (*tlb, error) {
+	if cfg.Entries == 0 {
+		return nil, nil
+	}
+	if cfg.PageSize <= 0 {
+		return nil, fmt.Errorf("simmem: TLB needs a page size")
+	}
+	cc := CacheConfig{
+		Name:     "TLB",
+		Size:     int64(cfg.Entries) * int64(cfg.PageSize),
+		LineSize: cfg.PageSize,
+		Assoc:    cfg.Assoc,
+	}
+	c, err := newCache(cc)
+	if err != nil {
+		return nil, err
+	}
+	return &tlb{c: c, cfg: cfg}, nil
+}
+
+// Stats counts hierarchy activity for tests and ablations.
+type Stats struct {
+	// Hits[i] counts accesses serviced by cache level i.
+	Hits []int64
+	// MemAccesses counts accesses serviced by DRAM.
+	MemAccesses int64
+	// TLBMisses counts TLB misses.
+	TLBMisses int64
+	// Writebacks counts dirty lines retired to DRAM.
+	Writebacks int64
+}
+
+// Hierarchy is the assembled memory system. All methods charge
+// simulated time to the CPU's clock.
+type Hierarchy struct {
+	cpu      *sim.CPU
+	clk      *sim.Clock
+	cfg      Config
+	caches   []*cache
+	tlb      *tlb
+	heap     uint64
+	pagePool map[uint64]bool
+	stats    Stats
+
+	// Precomputed costs.
+	latency  []ptime.Duration // per level, back-to-back
+	fill     []ptime.Duration // per level, streaming
+	memLat   ptime.Duration
+	memFill  ptime.Duration
+	memWB    ptime.Duration
+	tlbMiss  ptime.Duration
+	loadInst ptime.Duration // one cycle for the load itself
+}
+
+// New assembles a Hierarchy charging time through cpu.
+func New(cpu *sim.CPU, cfg Config) (*Hierarchy, error) {
+	cfg = cfg.withDefaults()
+	h := &Hierarchy{
+		cpu:      cpu,
+		clk:      cpu.Clock(),
+		cfg:      cfg,
+		memLat:   ptime.FromNS(cfg.DRAM.LatencyNS),
+		memFill:  ptime.FromNS(cfg.DRAM.fill()),
+		memWB:    ptime.FromNS(cfg.DRAM.writeback()),
+		tlbMiss:  ptime.FromNS(cfg.TLB.MissNS),
+		loadInst: cpu.CycleTime(),
+		heap:     1 << 20, // leave page zero and change unmapped
+	}
+	for _, cc := range cfg.Caches {
+		c, err := newCache(cc)
+		if err != nil {
+			return nil, err
+		}
+		h.caches = append(h.caches, c)
+		h.latency = append(h.latency, ptime.FromNS(cc.LatencyNS))
+		h.fill = append(h.fill, ptime.FromNS(cc.fill()))
+	}
+	t, err := newTLB(cfg.TLB)
+	if err != nil {
+		return nil, err
+	}
+	h.tlb = t
+	h.stats.Hits = make([]int64, len(h.caches))
+	return h, nil
+}
+
+// Config returns the (defaulted) configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// ClockHandle returns the clock this hierarchy charges time to.
+func (h *Hierarchy) ClockHandle() *sim.Clock { return h.clk }
+
+// PageSize returns the machine's page size (the TLB's, or 4K without a
+// TLB model).
+func (h *Hierarchy) PageSize() int64 {
+	if h.tlb != nil {
+		return int64(h.cfg.TLB.PageSize)
+	}
+	return 4096
+}
+
+// CPU returns the processor model this hierarchy charges issue time to.
+func (h *Hierarchy) CPU() *sim.CPU { return h.cpu }
+
+// Stats returns a copy of the accumulated counters.
+func (h *Hierarchy) Stats() Stats {
+	s := h.stats
+	s.Hits = append([]int64(nil), h.stats.Hits...)
+	return s
+}
+
+// ResetStats zeroes the counters.
+func (h *Hierarchy) ResetStats() {
+	h.stats = Stats{Hits: make([]int64, len(h.caches))}
+}
+
+// Alloc reserves size bytes of simulated physical memory and returns the
+// base address, page-aligned (or 4K-aligned without a TLB). Successive
+// allocations are separated by one guard page so that two large regions
+// never alias to the same sets of a direct-mapped cache — the paper
+// "took care to ensure that the source and destination locations would
+// not map to the same lines if any of the caches were direct-mapped."
+func (h *Hierarchy) Alloc(size int64) uint64 {
+	align := uint64(4096)
+	if h.tlb != nil {
+		align = uint64(h.cfg.TLB.PageSize)
+	}
+	base := (h.heap + align - 1) / align * align
+	h.heap = base + uint64(size) + align // guard page de-aliases streams
+	return base
+}
+
+// AllocPages reserves n pages of the given size at pseudo-random
+// physical addresses, modeling how an OS hands out whatever pages are
+// free. The paper blames exactly this for context-switch variability:
+// "We suspect that the operating system is not using the same set of
+// physical pages each time a process is created and we are seeing the
+// effects of collisions in the external caches." Randomly placed pages
+// collide in set-associative caches even when the nominal working set
+// fits.
+func (h *Hierarchy) AllocPages(n int, pageSize int64, rng *rand.Rand) []uint64 {
+	if n <= 0 || pageSize <= 0 {
+		return nil
+	}
+	// Draw pages from a physical span well above the bump heap; track
+	// them so pages are never handed out twice.
+	const span = int64(1) << 30
+	if h.pagePool == nil {
+		h.pagePool = make(map[uint64]bool)
+	}
+	pages := make([]uint64, 0, n)
+	for len(pages) < n {
+		page := uint64(1)<<31 + uint64(rng.Int63n(span/pageSize))*uint64(pageSize)
+		if h.pagePool[page] {
+			continue
+		}
+		h.pagePool[page] = true
+		pages = append(pages, page)
+	}
+	return pages
+}
+
+// StreamReadPages runs the streaming read-and-sum loop over a list of
+// pages (a scattered working set).
+func (h *Hierarchy) StreamReadPages(pages []uint64, pageSize int64) {
+	for _, p := range pages {
+		h.StreamRead(p, pageSize)
+	}
+}
+
+// FlushAll empties every cache level and the TLB, simulating a cold
+// start.
+func (h *Hierarchy) FlushAll() {
+	for _, c := range h.caches {
+		c.flush()
+	}
+	if h.tlb != nil {
+		h.tlb.c.flush()
+	}
+}
+
+// checkTLB charges a page-table walk on TLB miss and returns the cost.
+func (h *Hierarchy) tlbAccess(addr uint64) ptime.Duration {
+	if h.tlb == nil {
+		return 0
+	}
+	if h.tlb.c.lookup(addr, false) {
+		return 0
+	}
+	h.stats.TLBMisses++
+	h.tlb.c.insert(addr, false)
+	return h.tlbMiss
+}
+
+// fillUpper inserts addr's line into every level above (and including)
+// fromLevel, propagating dirty evictions downward. Evictions that fall
+// out of the last level dirty are counted and their cost returned.
+func (h *Hierarchy) fillUpper(addr uint64, fromLevel int, dirty bool) ptime.Duration {
+	var wb ptime.Duration
+	for i := fromLevel; i >= 0; i-- {
+		evAddr, evDirty, evValid := h.caches[i].insert(addr, dirty && i == 0)
+		if !evValid {
+			continue
+		}
+		// Strict inclusion: evicting a line from level i back-
+		// invalidates its fragments in the levels above; any dirty
+		// fragment makes the victim dirty.
+		lineSz := uint64(h.caches[i].cfg.LineSize)
+		for j := i - 1; j >= 0; j-- {
+			upSz := uint64(h.caches[j].cfg.LineSize)
+			if upSz > lineSz {
+				upSz = lineSz
+			}
+			for a := evAddr; a < evAddr+lineSz; a += upSz {
+				if v, d := h.caches[j].invalidate(a); v && d {
+					evDirty = true
+				}
+			}
+		}
+		if !evDirty {
+			continue
+		}
+		// A dirty victim's writeback updates the next level's copy in
+		// place when present (no time charged: write buffers hide it);
+		// it never allocates a new line. With no holder below, it
+		// retires to memory.
+		absorbed := false
+		for j := i + 1; j < len(h.caches); j++ {
+			if h.caches[j].writeback(evAddr) {
+				absorbed = true
+				break
+			}
+		}
+		if !absorbed {
+			h.stats.Writebacks++
+			wb += h.memWB
+		}
+	}
+	return wb
+}
+
+// level returns the index of the first level holding addr, or -1 for
+// memory.
+func (h *Hierarchy) level(addr uint64, markDirty bool) int {
+	for i, c := range h.caches {
+		if c.lookup(addr, markDirty && i == 0) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Load performs one back-to-back dependent load. It charges the
+// servicing level's latency plus one cycle for the load instruction
+// (the paper's reported latencies exclude that cycle; see LoadReportNS).
+func (h *Hierarchy) Load(addr uint64) {
+	cost := h.loadInst
+	cost += h.tlbAccess(addr)
+	lvl := h.level(addr, false)
+	if lvl >= 0 {
+		h.stats.Hits[lvl]++
+		cost += h.latency[lvl]
+		if lvl > 0 {
+			// Inclusive fill: promote the line into the upper levels.
+			h.fillUpper(addr, lvl-1, false)
+		}
+	} else {
+		h.stats.MemAccesses++
+		cost += h.memLat
+		// Dirty victims cost real time even on the load path; this is
+		// the §7 "dirty-read latency" effect ("the cache lines being
+		// replaced are highly likely to be unmodified, so there is no
+		// associated write-back cost" — unless the workload dirtied
+		// them).
+		cost += h.fillUpper(addr, len(h.caches)-1, false)
+	}
+	h.clk.Advance(cost)
+}
+
+// LoadInstTime returns the one-cycle load-instruction overhead that the
+// paper subtracts when reporting latency ("The time reported is pure
+// latency time ... It is assumed that all processors can do a load
+// instruction in one processor cycle").
+func (h *Hierarchy) LoadInstTime() ptime.Duration { return h.loadInst }
+
+// Store performs one store with write-allocate semantics.
+func (h *Hierarchy) Store(addr uint64) {
+	cost := h.loadInst
+	cost += h.tlbAccess(addr)
+	lvl := h.level(addr, true)
+	if lvl > 0 {
+		h.stats.Hits[lvl]++
+		cost += h.latency[lvl]
+		h.fillUpper(addr, lvl-1, true)
+	} else if lvl < 0 {
+		h.stats.MemAccesses++
+		cost += h.memLat
+		h.fillUpper(addr, len(h.caches)-1, true)
+	} else {
+		h.stats.Hits[0]++
+		cost += h.latency[0]
+	}
+	h.clk.Advance(cost)
+}

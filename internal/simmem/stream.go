@@ -1,0 +1,346 @@
+package simmem
+
+import (
+	"repro/internal/ptime"
+)
+
+// chunkSize returns the streaming granularity: the first-level line
+// size, or one 64-byte pseudo-line when no caches are configured.
+func (h *Hierarchy) chunkSize() int64 {
+	if len(h.caches) > 0 {
+		return int64(h.caches[0].cfg.LineSize)
+	}
+	return 64
+}
+
+// streamChunkRead charges one chunk of a streaming read and returns
+// nothing; time goes straight to the clock.
+func (h *Hierarchy) streamChunkRead(addr uint64, words int64) {
+	cost := h.tlbAccess(addr)
+	var memTime ptime.Duration
+	lvl := h.level(addr, false)
+	switch {
+	case lvl == 0:
+		h.stats.Hits[0]++
+	case lvl > 0:
+		h.stats.Hits[lvl]++
+		memTime = h.fill[lvl]
+		cost += h.fillUpper(addr, lvl-1, false)
+	default:
+		h.stats.MemAccesses++
+		memTime = h.memFill
+		cost += h.fillUpper(addr, len(h.caches)-1, false)
+	}
+	issue := h.cpu.OpTime(words * int64(h.cfg.ReadOpsPerWord))
+	cost += maxDur(issue, memTime)
+	h.clk.Advance(cost)
+}
+
+// StreamRead models the unrolled read-and-sum loop over [addr,
+// addr+bytes): sequential word loads with enough independent work that
+// fills pipeline. Per chunk the cost is the larger of the instruction
+// issue time and the line fill time (loads and fills overlap under
+// sequential access), unlike Load which charges the full dependent-load
+// latency.
+func (h *Hierarchy) StreamRead(addr uint64, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	chunk := h.chunkSize()
+	wordsPerChunk := chunk / int64(h.cfg.WordSize)
+	if wordsPerChunk < 1 {
+		wordsPerChunk = 1
+	}
+	end := addr + uint64(bytes)
+	for a := addr; a < end; a += uint64(chunk) {
+		h.streamChunkRead(a, wordsPerChunk)
+	}
+}
+
+// StreamWrite models the unrolled store loop over [addr, addr+bytes).
+// With write-allocate caches every missing destination line is read
+// before it is written (the paper: "the written cache line will
+// typically be read before it is written"), so a pure write moves twice
+// the reported bytes. NoWriteAllocate skips the fill and streams stores
+// to memory.
+func (h *Hierarchy) StreamWrite(addr uint64, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	chunk := h.chunkSize()
+	wordsPerChunk := chunk / int64(h.cfg.WordSize)
+	if wordsPerChunk < 1 {
+		wordsPerChunk = 1
+	}
+	end := addr + uint64(bytes)
+	for a := addr; a < end; a += uint64(chunk) {
+		h.streamChunkWrite(a, wordsPerChunk, false)
+	}
+}
+
+func (h *Hierarchy) streamChunkWrite(addr uint64, words int64, hwBypass bool) {
+	cost := h.tlbAccess(addr)
+	var memTime ptime.Duration
+	issueOps := int64(h.cfg.WriteOpsPerWord)
+	if hwBypass || h.cfg.NoWriteAllocate {
+		// Stores stream past the caches straight to memory.
+		h.stats.MemAccesses++
+		h.stats.Writebacks++
+		memTime = h.memWB
+	} else {
+		lvl := h.level(addr, true)
+		switch {
+		case lvl == 0:
+			h.stats.Hits[0]++
+		case lvl > 0:
+			h.stats.Hits[lvl]++
+			memTime = h.fill[lvl]
+			cost += h.fillUpper(addr, lvl-1, true)
+		default:
+			// Read-for-ownership fill from memory.
+			h.stats.MemAccesses++
+			memTime = h.memFill
+			cost += h.fillUpper(addr, len(h.caches)-1, true)
+		}
+	}
+	issue := h.cpu.OpTime(words * issueOps)
+	cost += maxDur(issue, memTime)
+	h.clk.Advance(cost)
+}
+
+// StreamCopy models bcopy: read the source, write the destination.
+// Without hardware assistance a copy moves three memory streams (source
+// read, destination read-for-ownership, destination writeback); with
+// Config.HWCopy the destination stores bypass the cache (SPARC V9-style
+// block moves) and only two streams move.
+func (h *Hierarchy) StreamCopy(src, dst uint64, bytes int64) {
+	h.StreamCopyMode(src, dst, bytes, h.cfg.HWCopy)
+}
+
+// StreamCopyMode is StreamCopy with an explicit hardware-assist choice,
+// so a backend can model a hardware-assisted libc bcopy next to a
+// plain hand-unrolled copy loop on the same machine (the Sun libc case
+// in Table 2).
+func (h *Hierarchy) StreamCopyMode(src, dst uint64, bytes int64, hwCopy bool) {
+	if bytes <= 0 {
+		return
+	}
+	chunk := h.chunkSize()
+	wordsPerChunk := chunk / int64(h.cfg.WordSize)
+	if wordsPerChunk < 1 {
+		wordsPerChunk = 1
+	}
+	for off := int64(0); off < bytes; off += chunk {
+		// Source side: same as a streaming read but with the copy
+		// loop's instruction mix charged once for the pair below.
+		sa := src + uint64(off)
+		da := dst + uint64(off)
+
+		cost := h.tlbAccess(sa)
+		var memTime ptime.Duration
+		lvl := h.level(sa, false)
+		switch {
+		case lvl == 0:
+			h.stats.Hits[0]++
+		case lvl > 0:
+			h.stats.Hits[lvl]++
+			memTime = h.fill[lvl]
+			cost += h.fillUpper(sa, lvl-1, false)
+		default:
+			h.stats.MemAccesses++
+			memTime = h.memFill
+			cost += h.fillUpper(sa, len(h.caches)-1, false)
+		}
+
+		// Destination side.
+		cost += h.tlbAccess(da)
+		if hwCopy {
+			h.stats.MemAccesses++
+			h.stats.Writebacks++
+			memTime += h.memWB
+		} else {
+			dlvl := h.level(da, true)
+			switch {
+			case dlvl == 0:
+				h.stats.Hits[0]++
+			case dlvl > 0:
+				h.stats.Hits[dlvl]++
+				memTime += h.fill[dlvl]
+				cost += h.fillUpper(da, dlvl-1, true)
+			default:
+				h.stats.MemAccesses++
+				memTime += h.memFill
+				cost += h.fillUpper(da, len(h.caches)-1, true)
+			}
+		}
+
+		issue := h.cpu.OpTime(wordsPerChunk * int64(h.cfg.CopyOpsPerWord))
+		cost += maxDur(issue, memTime)
+		h.clk.Advance(cost)
+	}
+}
+
+// StreamKernel models one pass of a McCalpin STREAM kernel (§7: "We
+// will probably incorporate part or all of this benchmark into
+// lmbench"): every source stream is read, the destination stream is
+// written with write-allocate semantics, and opsPerWord arithmetic
+// operations issue per destination word. Copy has one source and 0
+// extra ops, Scale one source and a multiply, Add two sources and an
+// add, Triad two sources and a fused multiply-add.
+func (h *Hierarchy) StreamKernel(dst uint64, srcs []uint64, bytes int64, opsPerWord int) {
+	if bytes <= 0 {
+		return
+	}
+	if opsPerWord < 1 {
+		opsPerWord = 1
+	}
+	chunk := h.chunkSize()
+	wordsPerChunk := chunk / int64(h.cfg.WordSize)
+	if wordsPerChunk < 1 {
+		wordsPerChunk = 1
+	}
+	for off := int64(0); off < bytes; off += chunk {
+		var cost, memTime ptime.Duration
+		for _, src := range srcs {
+			sa := src + uint64(off)
+			cost += h.tlbAccess(sa)
+			lvl := h.level(sa, false)
+			switch {
+			case lvl == 0:
+				h.stats.Hits[0]++
+			case lvl > 0:
+				h.stats.Hits[lvl]++
+				memTime += h.fill[lvl]
+				cost += h.fillUpper(sa, lvl-1, false)
+			default:
+				h.stats.MemAccesses++
+				memTime += h.memFill
+				cost += h.fillUpper(sa, len(h.caches)-1, false)
+			}
+		}
+		da := dst + uint64(off)
+		cost += h.tlbAccess(da)
+		dlvl := h.level(da, true)
+		switch {
+		case dlvl == 0:
+			h.stats.Hits[0]++
+		case dlvl > 0:
+			h.stats.Hits[dlvl]++
+			memTime += h.fill[dlvl]
+			cost += h.fillUpper(da, dlvl-1, true)
+		default:
+			h.stats.MemAccesses++
+			memTime += h.memFill
+			cost += h.fillUpper(da, len(h.caches)-1, true)
+		}
+		issue := h.cpu.OpTime(wordsPerChunk * int64(opsPerWord))
+		cost += maxDur(issue, memTime)
+		h.clk.Advance(cost)
+	}
+}
+
+func maxDur(a, b ptime.Duration) ptime.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Chase is the §6.2 pointer-chase state: a circular list of addresses
+// base, base+stride, ... wrapping at size, walked with dependent loads.
+//
+//	mov r4,(r4)   # C code: p = *p;
+type Chase struct {
+	h      *Hierarchy
+	base   uint64
+	size   int64
+	stride int64
+	off    int64
+}
+
+// NewChase prepares a pointer chase over [base, base+size) with the
+// given stride. Stride and size are clamped to at least one word.
+func (h *Hierarchy) NewChase(base uint64, size, stride int64) *Chase {
+	if stride < int64(h.cfg.WordSize) {
+		stride = int64(h.cfg.WordSize)
+	}
+	if size < stride {
+		size = stride
+	}
+	return &Chase{h: h, base: base, size: size, stride: stride}
+}
+
+// Walk performs n dependent loads, continuing from where the previous
+// call stopped (the list wraps).
+func (c *Chase) Walk(n int64) {
+	for i := int64(0); i < n; i++ {
+		c.h.Load(c.base + uint64(c.off))
+		c.off += c.stride
+		if c.off >= c.size {
+			c.off -= c.size
+		}
+	}
+}
+
+// Length returns the number of elements in the circular list.
+func (c *Chase) Length() int64 { return (c.size + c.stride - 1) / c.stride }
+
+// WalkDirty performs n dependent loads, storing back to each element
+// after loading it, so every line the walk evicts is modified. This is
+// the §7 "dirty-read latency" workload: reads whose victims carry
+// write-back costs.
+func (c *Chase) WalkDirty(n int64) {
+	for i := int64(0); i < n; i++ {
+		addr := c.base + uint64(c.off)
+		c.h.Load(addr)
+		c.h.Store(addr)
+		c.off += c.stride
+		if c.off >= c.size {
+			c.off -= c.size
+		}
+	}
+}
+
+// WalkWrite performs n strided stores (the §7 "write latency"
+// workload); addresses come from arithmetic, not loaded pointers, as a
+// store chain cannot be made dependent.
+func (c *Chase) WalkWrite(n int64) {
+	for i := int64(0); i < n; i++ {
+		c.h.Store(c.base + uint64(c.off))
+		c.off += c.stride
+		if c.off >= c.size {
+			c.off -= c.size
+		}
+	}
+}
+
+// PageChase walks the first word of each page in a scattered page
+// list — the §7 TLB-measurement workload: one line per page keeps the
+// cache footprint tiny while the page count sweeps past the TLB size.
+type PageChase struct {
+	h     *Hierarchy
+	pages []uint64
+	idx   int
+}
+
+// NewPageChase builds a chase over the given pages.
+func (h *Hierarchy) NewPageChase(pages []uint64) *PageChase {
+	return &PageChase{h: h, pages: pages}
+}
+
+// Walk performs n loads, one per page, wrapping around the list.
+func (p *PageChase) Walk(n int64) {
+	if len(p.pages) == 0 {
+		return
+	}
+	for i := int64(0); i < n; i++ {
+		p.h.Load(p.pages[p.idx])
+		p.idx++
+		if p.idx == len(p.pages) {
+			p.idx = 0
+		}
+	}
+}
+
+// Length returns the page count.
+func (p *PageChase) Length() int64 { return int64(len(p.pages)) }

@@ -1,0 +1,189 @@
+// Package simsmp models the multiprocessor memory behaviour behind the
+// paper's §7 MP future-work item ("At a minimum, we could measure
+// cache-to-cache latency as well as cache-to-cache bandwidth"): two
+// processors with private caches kept coherent by an MSI protocol over
+// a shared bus, where a load that hits a line modified in the *other*
+// processor's cache is serviced by a cache-to-cache transfer.
+package simsmp
+
+import (
+	"errors"
+
+	"repro/internal/ptime"
+	"repro/internal/sim"
+)
+
+// Config parameterizes the coherence model.
+type Config struct {
+	// LineSize is the coherence granule (default 32).
+	LineSize int
+	// HitNS is a local cache hit (default 10).
+	HitNS float64
+	// C2CNS is a cache-to-cache transfer of one line, the §7 quantity
+	// (1995 snoopy buses made this comparable to or slower than a
+	// memory access).
+	C2CNS float64
+	// MemNS is a line fill from memory (default = C2CNS).
+	MemNS float64
+	// UpgradeNS is a bus upgrade (invalidate) without data transfer
+	// (default C2CNS/2).
+	UpgradeNS float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LineSize <= 0 {
+		c.LineSize = 32
+	}
+	if c.HitNS <= 0 {
+		c.HitNS = 10
+	}
+	if c.C2CNS <= 0 {
+		c.C2CNS = 400
+	}
+	if c.MemNS <= 0 {
+		c.MemNS = c.C2CNS
+	}
+	if c.UpgradeNS <= 0 {
+		c.UpgradeNS = c.C2CNS / 2
+	}
+	return c
+}
+
+// mesi is the per-CPU line state (MSI subset: E folded into M).
+type mesi uint8
+
+const (
+	invalid mesi = iota
+	shared
+	modified
+)
+
+// System is a two-processor coherent memory system. Capacity effects
+// are ignored (the workloads here bounce a handful of lines); only
+// coherence state is tracked.
+type System struct {
+	clk   *sim.Clock
+	cfg   Config
+	state map[uint64][2]mesi
+
+	hit, c2c, mem, upgrade ptime.Duration
+
+	// Stats.
+	C2CTransfers int64
+	MemFills     int64
+}
+
+// New builds a system charging time to clk.
+func New(clk *sim.Clock, cfg Config) *System {
+	cfg = cfg.withDefaults()
+	return &System{
+		clk:     clk,
+		cfg:     cfg,
+		state:   make(map[uint64][2]mesi),
+		hit:     ptime.FromNS(cfg.HitNS),
+		c2c:     ptime.FromNS(cfg.C2CNS),
+		mem:     ptime.FromNS(cfg.MemNS),
+		upgrade: ptime.FromNS(cfg.UpgradeNS),
+	}
+}
+
+// Config returns the defaulted configuration.
+func (s *System) Config() Config { return s.cfg }
+
+var errCPU = errors.New("simsmp: cpu must be 0 or 1")
+
+func (s *System) line(addr uint64) uint64 { return addr / uint64(s.cfg.LineSize) }
+
+// Read performs one load by the given processor.
+func (s *System) Read(cpu int, addr uint64) error {
+	if cpu != 0 && cpu != 1 {
+		return errCPU
+	}
+	l := s.line(addr)
+	st := s.state[l]
+	other := 1 - cpu
+	switch {
+	case st[cpu] != invalid:
+		s.clk.Advance(s.hit)
+	case st[other] == modified:
+		// Dirty in the other cache: cache-to-cache transfer, both
+		// end up shared.
+		s.C2CTransfers++
+		s.clk.Advance(s.c2c)
+		st[other] = shared
+		st[cpu] = shared
+	default:
+		s.MemFills++
+		s.clk.Advance(s.mem)
+		st[cpu] = shared
+	}
+	s.state[l] = st
+	return nil
+}
+
+// Write performs one store by the given processor.
+func (s *System) Write(cpu int, addr uint64) error {
+	if cpu != 0 && cpu != 1 {
+		return errCPU
+	}
+	l := s.line(addr)
+	st := s.state[l]
+	other := 1 - cpu
+	switch {
+	case st[cpu] == modified:
+		s.clk.Advance(s.hit)
+	case st[other] == modified:
+		// Read-for-ownership from the other cache.
+		s.C2CTransfers++
+		s.clk.Advance(s.c2c)
+		st[other] = invalid
+		st[cpu] = modified
+	case st[cpu] == shared || st[other] == shared:
+		// Upgrade: invalidate the sharer, no data moves.
+		s.clk.Advance(s.upgrade)
+		st[other] = invalid
+		st[cpu] = modified
+	default:
+		s.MemFills++
+		s.clk.Advance(s.mem)
+		st[cpu] = modified
+	}
+	s.state[l] = st
+	return nil
+}
+
+// PingPong bounces one modified line between the processors once:
+// CPU0 writes it, CPU1 reads and rewrites it, CPU0 reads it back.
+// In steady state that is two dirty-miss transfers plus the
+// share/upgrade traffic.
+func (s *System) PingPong(addr uint64) error {
+	if err := s.Write(0, addr); err != nil {
+		return err
+	}
+	if err := s.Read(1, addr); err != nil {
+		return err
+	}
+	if err := s.Write(1, addr); err != nil {
+		return err
+	}
+	return s.Read(0, addr)
+}
+
+// Transfer streams n bytes of lines dirtied by CPU1 into CPU0's cache:
+// the cache-to-cache bandwidth workload.
+func (s *System) Transfer(n int64) error {
+	if n <= 0 {
+		return errors.New("simsmp: transfer needs positive size")
+	}
+	line := int64(s.cfg.LineSize)
+	for off := int64(0); off < n; off += line {
+		addr := uint64(off)
+		if err := s.Write(1, addr); err != nil {
+			return err
+		}
+		if err := s.Read(0, addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package simsmp
+
+import (
+	"testing"
+
+	"repro/internal/ptime"
+	"repro/internal/sim"
+)
+
+func testSys() (*System, *sim.Clock) {
+	clk := &sim.Clock{}
+	return New(clk, Config{LineSize: 32, HitNS: 10, C2CNS: 400, MemNS: 300, UpgradeNS: 150}), clk
+}
+
+func TestDefaults(t *testing.T) {
+	s := New(&sim.Clock{}, Config{})
+	cfg := s.Config()
+	if cfg.LineSize != 32 || cfg.C2CNS != 400 || cfg.MemNS != 400 || cfg.UpgradeNS != 200 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}
+
+func TestColdReadFillsFromMemory(t *testing.T) {
+	s, clk := testSys()
+	if err := s.Read(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() != 300*ptime.Nanosecond {
+		t.Errorf("cold read = %v, want 300ns", clk.Now())
+	}
+	before := clk.Now()
+	_ = s.Read(0, 0)
+	if clk.Now()-before != 10*ptime.Nanosecond {
+		t.Errorf("hit = %v, want 10ns", clk.Now()-before)
+	}
+	if s.MemFills != 1 {
+		t.Errorf("MemFills = %d", s.MemFills)
+	}
+}
+
+func TestDirtyReadIsCacheToCache(t *testing.T) {
+	s, clk := testSys()
+	_ = s.Write(0, 0) // cold write: memory fill, M in cpu0
+	before := clk.Now()
+	_ = s.Read(1, 0) // dirty in the other cache
+	if clk.Now()-before != 400*ptime.Nanosecond {
+		t.Errorf("dirty remote read = %v, want 400ns c2c", clk.Now()-before)
+	}
+	if s.C2CTransfers != 1 {
+		t.Errorf("C2CTransfers = %d", s.C2CTransfers)
+	}
+	// Both now shared: local hits.
+	before = clk.Now()
+	_ = s.Read(0, 0)
+	_ = s.Read(1, 0)
+	if clk.Now()-before != 20*ptime.Nanosecond {
+		t.Errorf("shared hits = %v", clk.Now()-before)
+	}
+}
+
+func TestWriteUpgradeInvalidates(t *testing.T) {
+	s, clk := testSys()
+	_ = s.Read(0, 0)
+	_ = s.Read(1, 0) // both shared (second read fills from memory: no M copy)
+	before := clk.Now()
+	_ = s.Write(0, 0) // upgrade
+	if clk.Now()-before != 150*ptime.Nanosecond {
+		t.Errorf("upgrade = %v, want 150ns", clk.Now()-before)
+	}
+	// CPU1 must re-fetch: dirty in cpu0 -> c2c.
+	before = clk.Now()
+	_ = s.Read(1, 0)
+	if clk.Now()-before != 400*ptime.Nanosecond {
+		t.Errorf("post-invalidate read = %v, want c2c", clk.Now()-before)
+	}
+}
+
+func TestWriteDirtyRemoteRFO(t *testing.T) {
+	s, clk := testSys()
+	_ = s.Write(0, 0)
+	before := clk.Now()
+	_ = s.Write(1, 0) // RFO from cpu0's modified copy
+	if clk.Now()-before != 400*ptime.Nanosecond {
+		t.Errorf("remote RFO = %v, want c2c", clk.Now()-before)
+	}
+	// cpu0 is invalid now; its next write is another transfer back.
+	before = clk.Now()
+	_ = s.Write(0, 0)
+	if clk.Now()-before != 400*ptime.Nanosecond {
+		t.Errorf("bounce back = %v, want c2c", clk.Now()-before)
+	}
+}
+
+func TestPingPongSteadyState(t *testing.T) {
+	s, clk := testSys()
+	_ = s.PingPong(0) // warm (first op is a memory fill)
+	before := clk.Now()
+	_ = s.PingPong(0)
+	elapsed := clk.Now() - before
+	// Steady state: the trailing R0 leaves the line shared, so W0 is
+	// an upgrade (150), R1 a c2c transfer (400), W1 an upgrade (150),
+	// R0 a c2c transfer (400).
+	want := (150 + 400 + 150 + 400) * ptime.Nanosecond
+	if elapsed != want {
+		t.Errorf("ping-pong = %v, want %v", elapsed, want)
+	}
+}
+
+func TestTransferBandwidth(t *testing.T) {
+	s, clk := testSys()
+	if err := s.Transfer(0); err == nil {
+		t.Error("zero transfer should error")
+	}
+	before := clk.Now()
+	if err := s.Transfer(32 * 100); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := clk.Now() - before
+	// First pass: 100 lines x (mem fill for W1 + c2c for R0).
+	want := 100 * (300 + 400) * ptime.Nanosecond
+	if elapsed != want {
+		t.Errorf("transfer = %v, want %v", elapsed, want)
+	}
+	if s.C2CTransfers != 100 {
+		t.Errorf("C2CTransfers = %d", s.C2CTransfers)
+	}
+}
+
+func TestBadCPU(t *testing.T) {
+	s, _ := testSys()
+	if err := s.Read(2, 0); err == nil {
+		t.Error("cpu 2 should error")
+	}
+	if err := s.Write(-1, 0); err == nil {
+		t.Error("cpu -1 should error")
+	}
+}
+
+func TestLineGranularity(t *testing.T) {
+	s, _ := testSys()
+	_ = s.Write(0, 0)
+	// Same line, different word: still a hit.
+	before := s.clk.Now()
+	_ = s.Write(0, 16)
+	if s.clk.Now()-before != 10*ptime.Nanosecond {
+		t.Error("same-line write should hit")
+	}
+	// Next line: cold.
+	before = s.clk.Now()
+	_ = s.Write(0, 32)
+	if s.clk.Now()-before != 300*ptime.Nanosecond {
+		t.Error("next line should miss to memory")
+	}
+}

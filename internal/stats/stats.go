@@ -1,0 +1,307 @@
+// Package stats provides the small statistics kit used throughout the
+// benchmark suite: order statistics, central moments, harmonic means,
+// least-squares fitting, and plateau (step) detection on measured curves.
+//
+// lmbench's reporting policy is built on order statistics rather than
+// means: the paper compensates for run-to-run variability (up to 30% on
+// the context-switch benchmark) by taking the minimum of repeated runs,
+// and its tables are sorted best-to-worst. This package supplies those
+// primitives for the harness and the analysis code.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that require at least one sample.
+var ErrEmpty = errors.New("stats: empty sample set")
+
+// Min returns the smallest value in xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest value in xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// HarmonicMean returns the harmonic mean of xs. All samples must be
+// positive; the harmonic mean is the correct way to average rates
+// (e.g. MB/s over equal byte counts).
+func HarmonicMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: harmonic mean requires positive samples")
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum, nil
+}
+
+// Variance returns the unbiased sample variance of xs.
+// It requires at least two samples.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, errors.New("stats: variance requires at least two samples")
+	}
+	mean, _ := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - mean
+		sum += d * d
+	}
+	return sum / float64(len(xs)-1), nil
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Median returns the median of xs.
+func Median(xs []float64) (float64, error) {
+	return Percentile(xs, 50)
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. xs is not modified.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// LinearFit holds the result of a least-squares line fit y = Slope*x +
+// Intercept, with R2 the coefficient of determination.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// FitLine performs an ordinary least-squares fit of ys against xs.
+// The slices must be the same length and contain at least two points.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: mismatched fit inputs")
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, errors.New("stats: fit requires at least two points")
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return LinearFit{}, errors.New("stats: degenerate fit (constant x)")
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+	// R^2 = 1 - SSres/SStot.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := slope*xs[i] + intercept
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2}, nil
+}
+
+// SpearmanRank returns Spearman's rank correlation coefficient between
+// xs and ys: +1 when the two series rank their elements identically,
+// -1 when exactly opposite. It is the suite's measure of *shape*
+// agreement between the paper's table and a regenerated one — who
+// wins and who loses, independent of absolute values. Ties receive
+// fractional (average) ranks.
+func SpearmanRank(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: mismatched rank inputs")
+	}
+	if len(xs) < 3 {
+		return 0, errors.New("stats: rank correlation requires at least three pairs")
+	}
+	rx := ranks(xs)
+	ry := ranks(ys)
+	fit, err := pearson(rx, ry)
+	if err != nil {
+		return 0, err
+	}
+	return fit, nil
+}
+
+// ranks assigns average ranks (1-based) to the values.
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, len(xs))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// pearson computes the Pearson correlation of two equal-length series.
+func pearson(xs, ys []float64) (float64, error) {
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var num, dx, dy float64
+	for i := range xs {
+		a, b := xs[i]-mx, ys[i]-my
+		num += a * b
+		dx += a * a
+		dy += b * b
+	}
+	if dx == 0 || dy == 0 {
+		return 0, errors.New("stats: degenerate correlation (constant series)")
+	}
+	return num / math.Sqrt(dx*dy), nil
+}
+
+// Plateau describes one flat region detected in a curve: the half-open
+// index range [Start, End) of the input points it covers and the
+// representative (median) level of the region.
+type Plateau struct {
+	Start, End int
+	Level      float64
+}
+
+// Plateaus segments ys into flat regions. Two consecutive points belong
+// to the same plateau when they differ by no more than relTol of the
+// running plateau level (with absTol as a floor for near-zero levels).
+// This is the primitive behind the Table-6 extraction: the memory
+// latency curve is a staircase whose steps are the cache levels.
+func Plateaus(ys []float64, relTol, absTol float64) []Plateau {
+	if len(ys) == 0 {
+		return nil
+	}
+	var out []Plateau
+	start := 0
+	level := ys[0]
+	count := 1.0
+	for i := 1; i < len(ys); i++ {
+		tol := level * relTol
+		if tol < absTol {
+			tol = absTol
+		}
+		if math.Abs(ys[i]-level) <= tol {
+			// Extend the plateau, tracking the running mean as level.
+			level = (level*count + ys[i]) / (count + 1)
+			count++
+			continue
+		}
+		out = append(out, Plateau{Start: start, End: i, Level: level})
+		start = i
+		level = ys[i]
+		count = 1
+	}
+	out = append(out, Plateau{Start: start, End: len(ys), Level: level})
+	return out
+}
+
+// MergePlateaus coalesces adjacent plateaus whose levels are within
+// relTol of each other; the merged level is the length-weighted mean.
+// Useful after Plateaus when noise split one logical step in two.
+func MergePlateaus(ps []Plateau, relTol float64) []Plateau {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := []Plateau{ps[0]}
+	for _, p := range ps[1:] {
+		last := &out[len(out)-1]
+		ref := math.Max(math.Abs(last.Level), math.Abs(p.Level))
+		if math.Abs(p.Level-last.Level) <= ref*relTol {
+			wa := float64(last.End - last.Start)
+			wb := float64(p.End - p.Start)
+			last.Level = (last.Level*wa + p.Level*wb) / (wa + wb)
+			last.End = p.End
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,390 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMinMaxEmpty(t *testing.T) {
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Errorf("Min(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Errorf("Max(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Errorf("Mean(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2.5}
+	if m, _ := Min(xs); m != -1 {
+		t.Errorf("Min = %v, want -1", m)
+	}
+	if m, _ := Max(xs); m != 7 {
+		t.Errorf("Max = %v, want 7", m)
+	}
+}
+
+func TestMean(t *testing.T) {
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || m != 2.5 {
+		t.Errorf("Mean = %v, %v; want 2.5", m, err)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	// Harmonic mean of 40 and 60 MB/s over equal byte counts is 48.
+	m, err := HarmonicMean([]float64{40, 60})
+	if err != nil || !almostEq(m, 48, 1e-12) {
+		t.Errorf("HarmonicMean = %v, %v; want 48", m, err)
+	}
+	if _, err := HarmonicMean([]float64{1, 0}); err == nil {
+		t.Error("HarmonicMean with zero sample should error")
+	}
+	if _, err := HarmonicMean(nil); err != ErrEmpty {
+		t.Error("HarmonicMean(nil) should return ErrEmpty")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	v, err := Variance(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(v, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+	sd, _ := StdDev(xs)
+	if !almostEq(sd, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %v", sd)
+	}
+	if _, err := Variance([]float64{1}); err == nil {
+		t.Error("Variance of single sample should error")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("out-of-range percentile should error")
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Error("negative percentile should error")
+	}
+	if v, _ := Percentile([]float64{42}, 75); v != 42 {
+		t.Errorf("single-sample percentile = %v, want 42", v)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Median(xs); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	// y = 2x + 1 exactly.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 5, 7, 9}
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Slope, 2, 1e-12) || !almostEq(fit.Intercept, 1, 1e-12) {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if !almostEq(fit.R2, 1, 1e-12) {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Error("fit of one point should error")
+	}
+	if _, err := FitLine([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, err := FitLine([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Error("constant x should error")
+	}
+}
+
+func TestPlateausStaircase(t *testing.T) {
+	// A three-step staircase like a memory-latency curve:
+	// L1 at ~5ns, L2 at ~50ns, memory at ~300ns.
+	ys := []float64{5, 5.1, 4.9, 5, 50, 51, 49.5, 50, 300, 305, 295}
+	ps := Plateaus(ys, 0.10, 0.5)
+	ps = MergePlateaus(ps, 0.15)
+	if len(ps) != 3 {
+		t.Fatalf("got %d plateaus (%v), want 3", len(ps), ps)
+	}
+	wantLevels := []float64{5, 50, 300}
+	for i, p := range ps {
+		if math.Abs(p.Level-wantLevels[i])/wantLevels[i] > 0.05 {
+			t.Errorf("plateau %d level %v, want ~%v", i, p.Level, wantLevels[i])
+		}
+	}
+	// Coverage must be exact and contiguous.
+	if ps[0].Start != 0 || ps[len(ps)-1].End != len(ys) {
+		t.Errorf("plateaus do not cover input: %v", ps)
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Start != ps[i-1].End {
+			t.Errorf("gap between plateaus %d and %d", i-1, i)
+		}
+	}
+}
+
+func TestPlateausEmptyAndSingle(t *testing.T) {
+	if ps := Plateaus(nil, 0.1, 0.1); ps != nil {
+		t.Errorf("Plateaus(nil) = %v, want nil", ps)
+	}
+	ps := Plateaus([]float64{7}, 0.1, 0.1)
+	if len(ps) != 1 || ps[0].Level != 7 {
+		t.Errorf("single-point plateaus = %v", ps)
+	}
+	if MergePlateaus(nil, 0.1) != nil {
+		t.Error("MergePlateaus(nil) should be nil")
+	}
+}
+
+// Property: Min <= Percentile(p) <= Max for any sample set and p.
+func TestQuickPercentileBounds(t *testing.T) {
+	f := func(raw []int16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		p := float64(pRaw) / 255 * 100
+		v, err := Percentile(xs, p)
+		if err != nil {
+			return false
+		}
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		return v >= mn-1e-9 && v <= mx+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentiles are monotonic in p.
+func TestQuickPercentileMonotonic(t *testing.T) {
+	f := func(raw []int16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		pa := float64(a) / 255 * 100
+		pb := float64(b) / 255 * 100
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, _ := Percentile(xs, pa)
+		vb, _ := Percentile(xs, pb)
+		return va <= vb+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: harmonic mean <= arithmetic mean for positive samples.
+func TestQuickHarmonicLEArithmetic(t *testing.T) {
+	f := func(raw []uint16) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			xs = append(xs, float64(v)+1) // strictly positive
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		hm, err := HarmonicMean(xs)
+		if err != nil {
+			return false
+		}
+		am, _ := Mean(xs)
+		return hm <= am+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Plateaus always partitions the input exactly.
+func TestQuickPlateausPartition(t *testing.T) {
+	f := func(raw []uint8) bool {
+		ys := make([]float64, len(raw))
+		for i, v := range raw {
+			ys[i] = float64(v)
+		}
+		ps := Plateaus(ys, 0.1, 1)
+		if len(ys) == 0 {
+			return ps == nil
+		}
+		if ps[0].Start != 0 || ps[len(ps)-1].End != len(ys) {
+			return false
+		}
+		for i := 1; i < len(ps); i++ {
+			if ps[i].Start != ps[i-1].End {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FitLine on noisy-but-linear data recovers the slope.
+func TestFitLineNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 3*xs[i] + 10 + rng.NormFloat64()*0.5
+	}
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-3) > 0.05 {
+		t.Errorf("slope = %v, want ~3", fit.Slope)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v, want > 0.99", fit.R2)
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	odd := []float64{9, 1, 5}
+	if m, _ := Median(odd); m != 5 {
+		t.Errorf("odd median = %v, want 5", m)
+	}
+	even := []float64{1, 2, 3, 4}
+	if m, _ := Median(even); m != 2.5 {
+		t.Errorf("even median = %v, want 2.5", m)
+	}
+	// Ensure sortedness is not assumed.
+	shuffled := []float64{4, 1, 3, 2}
+	sort.Float64s(shuffled) // sanity for the test itself
+	if m, _ := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("shuffled median = %v, want 2.5", m)
+	}
+}
+
+func TestSpearmanRank(t *testing.T) {
+	// Perfectly concordant.
+	r, err := SpearmanRank([]float64{1, 2, 3, 4}, []float64{10, 20, 30, 40})
+	if err != nil || r != 1 {
+		t.Errorf("concordant rank = %v, %v; want 1", r, err)
+	}
+	// Perfectly discordant.
+	r, _ = SpearmanRank([]float64{1, 2, 3, 4}, []float64{9, 7, 5, 3})
+	if r != -1 {
+		t.Errorf("discordant rank = %v, want -1", r)
+	}
+	// Monotone transform leaves rank correlation at 1.
+	xs := []float64{5, 1, 9, 3, 7}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = x * x // monotone on positives
+	}
+	r, _ = SpearmanRank(xs, ys)
+	if r != 1 {
+		t.Errorf("monotone-transform rank = %v, want 1", r)
+	}
+	// Errors.
+	if _, err := SpearmanRank([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("too few pairs should error")
+	}
+	if _, err := SpearmanRank([]float64{1, 2, 3}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, err := SpearmanRank([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant series should error")
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	// Ties get average ranks; correlation stays defined and high for
+	// a mostly-concordant series.
+	r, err := SpearmanRank([]float64{1, 2, 2, 4}, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.9 {
+		t.Errorf("tied rank = %v, want ~1", r)
+	}
+}
+
+// Property: SpearmanRank is symmetric and bounded in [-1, 1].
+func TestQuickSpearmanBounds(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		allSameX, allSameY := true, true
+		for i, v := range raw {
+			xs[i] = float64(v)
+			ys[i] = float64(v % 7)
+			if xs[i] != xs[0] {
+				allSameX = false
+			}
+			if ys[i] != ys[0] {
+				allSameY = false
+			}
+		}
+		if allSameX || allSameY {
+			return true
+		}
+		ab, err1 := SpearmanRank(xs, ys)
+		ba, err2 := SpearmanRank(ys, xs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ab >= -1.000001 && ab <= 1.000001 && math.Abs(ab-ba) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,216 @@
+package timing
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/ptime"
+)
+
+// opClock is a manual clock advanced explicitly by test operations; it
+// behaves exactly like the simulator's virtual clock.
+type opClock struct {
+	now ptime.Duration
+}
+
+func (c *opClock) Now() ptime.Duration                { return c.now }
+func (c *opClock) advance(d ptime.Duration)           { c.now += d }
+func (c *opClock) chargeOp(d ptime.Duration, n int64) { c.now += d.Mul(n) }
+
+func TestBenchLoopExactClock(t *testing.T) {
+	clk := &opClock{}
+	perOp := 250 * ptime.Nanosecond
+	m, err := BenchLoop(clk, Options{MinSampleTime: ptime.Microsecond, Samples: 3}, func(n int64) error {
+		clk.chargeOp(perOp, n)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PerOp != perOp {
+		t.Errorf("PerOp = %v, want %v", m.PerOp, perOp)
+	}
+	if len(m.Samples) != 3 {
+		t.Errorf("Samples = %d, want 3", len(m.Samples))
+	}
+	if m.N < 1 {
+		t.Errorf("N = %d, want >= 1", m.N)
+	}
+}
+
+func TestBenchLoopTakesMinimum(t *testing.T) {
+	clk := &opClock{}
+	calls := 0
+	// Alternate between a slow and a fast per-op cost; the harness must
+	// report the fast one (lmbench's min-of-N policy).
+	m, err := BenchLoop(clk, Options{MinSampleTime: ptime.Microsecond, Samples: 6, NoWarmup: true}, func(n int64) error {
+		calls++
+		per := 100 * ptime.Nanosecond
+		if calls%2 == 0 {
+			per = 130 * ptime.Nanosecond
+		}
+		clk.chargeOp(per, n)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PerOp != 100*ptime.Nanosecond {
+		t.Errorf("PerOp = %v, want 100ns", m.PerOp)
+	}
+}
+
+func TestBenchLoopScalesN(t *testing.T) {
+	clk := &opClock{}
+	perOp := 10 * ptime.Nanosecond
+	m, err := BenchLoop(clk, Options{MinSampleTime: ptime.Millisecond, Samples: 2}, func(n int64) error {
+		clk.chargeOp(perOp, n)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1ms / 10ns = 100000 ops minimum per batch.
+	if m.N < 100000 {
+		t.Errorf("N = %d, want >= 100000", m.N)
+	}
+	if m.PerOp != perOp {
+		t.Errorf("PerOp = %v, want %v", m.PerOp, perOp)
+	}
+}
+
+func TestBenchLoopClockStuck(t *testing.T) {
+	clk := &opClock{} // never advances
+	_, err := BenchLoop(clk, Options{MaxN: 1 << 10, Resolution: ptime.Nanosecond}, func(n int64) error { return nil })
+	if !errors.Is(err, ErrClockStuck) {
+		t.Errorf("err = %v, want ErrClockStuck", err)
+	}
+}
+
+func TestBenchLoopPropagatesOpError(t *testing.T) {
+	clk := &opClock{}
+	boom := errors.New("boom")
+	_, err := BenchLoop(clk, Options{}, func(n int64) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestQuantizedClockCompensation(t *testing.T) {
+	// Emulate a coarse 1ms gettimeofday on top of the real clock; the
+	// harness must still recover a ~50us operation within a reasonable
+	// factor because it scales the batch over many quanta.
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	q := &QuantizedClock{Base: NewWallClock(), Step: ptime.Millisecond}
+	m, err := BenchLoop(q, Options{
+		MinSampleTime:      10 * ptime.Millisecond,
+		Samples:            3,
+		ResolutionMultiple: 10,
+	}, func(n int64) error {
+		time.Sleep(time.Duration(n) * 50 * time.Microsecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.PerOp.Microseconds()
+	if got < 40 || got > 2000 {
+		t.Errorf("PerOp = %vus, want ~50-2000us (sleep overhead allowed)", got)
+	}
+}
+
+func TestEstimateResolutionQuantized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	q := &QuantizedClock{Base: NewWallClock(), Step: 100 * ptime.Microsecond}
+	res := EstimateResolution(q)
+	// Resolution must be at least one quantum (it can be a multiple if
+	// probing is slow, but never less).
+	if res < 100*ptime.Microsecond {
+		t.Errorf("resolution = %v, want >= 100us", res)
+	}
+}
+
+func TestEstimateResolutionStuckClock(t *testing.T) {
+	res := EstimateResolution(&opClock{})
+	if res != 1 {
+		t.Errorf("stuck-clock resolution = %v, want 1ps (exact)", res)
+	}
+}
+
+func TestOnceAndMinOnce(t *testing.T) {
+	clk := &opClock{}
+	d, err := Once(clk, func() error {
+		clk.advance(42 * ptime.Microsecond)
+		return nil
+	})
+	if err != nil || d != 42*ptime.Microsecond {
+		t.Errorf("Once = %v, %v", d, err)
+	}
+
+	costs := []ptime.Duration{90, 40, 70}
+	i := 0
+	best, err := MinOnce(clk, 3, func() error {
+		clk.advance(costs[i] * ptime.Microsecond)
+		i++
+		return nil
+	})
+	if err != nil || best != 40*ptime.Microsecond {
+		t.Errorf("MinOnce = %v, %v; want 40us", best, err)
+	}
+
+	boom := errors.New("boom")
+	if _, err := MinOnce(clk, 2, func() error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("MinOnce error = %v, want boom", err)
+	}
+	// times <= 0 is clamped to 1.
+	n := 0
+	if _, err := MinOnce(clk, 0, func() error { n++; clk.advance(1); return nil }); err != nil || n != 1 {
+		t.Errorf("MinOnce(0) ran %d times, err %v", n, err)
+	}
+}
+
+func TestMBPerSec(t *testing.T) {
+	// 8 MiB in 0.1s = 80 MB/s in the paper's 2^20 unit.
+	got := MBPerSec(8<<20, 100*ptime.Millisecond)
+	if got != 80 {
+		t.Errorf("MBPerSec = %v, want 80", got)
+	}
+	if MBPerSec(1, 0) != 0 {
+		t.Error("MBPerSec with zero elapsed should be 0")
+	}
+}
+
+func TestMeasurementAccessors(t *testing.T) {
+	m := Measurement{PerOp: 1500 * ptime.Nanosecond, N: 10, Samples: []ptime.Duration{1, 2}}
+	if m.PerOpNS() != 1500 {
+		t.Errorf("PerOpNS = %v", m.PerOpNS())
+	}
+	if m.PerOpUS() != 1.5 {
+		t.Errorf("PerOpUS = %v", m.PerOpUS())
+	}
+	if m.String() == "" {
+		t.Error("String is empty")
+	}
+}
+
+func TestWallClockMonotonic(t *testing.T) {
+	c := NewWallClock()
+	a := c.Now()
+	b := c.Now()
+	if b < a {
+		t.Errorf("wall clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestQuantizedZeroStepPassthrough(t *testing.T) {
+	base := &opClock{now: 12345}
+	q := &QuantizedClock{Base: base}
+	if q.Now() != 12345 {
+		t.Errorf("zero-step quantized clock should pass through")
+	}
+}

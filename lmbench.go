@@ -1,0 +1,131 @@
+// Package lmbench is a Go reproduction of "lmbench: Portable Tools for
+// Performance Analysis" (McVoy & Staelin, USENIX 1996): a suite of
+// micro-benchmarks measuring the latency and bandwidth of the primitive
+// operations underlying most applications — data movement among
+// processor, caches, memory, network, file system and disk.
+//
+// The same benchmark code runs against two backends:
+//
+//   - the host backend, which measures the real machine the program
+//     runs on (pipes, loopback TCP/UDP, an ONC-RPC-style layer, file
+//     systems, O_DIRECT disk reads, pointer-chase memory latency), and
+//   - simulated machines: calibrated models of the paper's Table-1
+//     testbed (set-associative cache hierarchies, TLB and DRAM, an OS
+//     cost model, a network stack model, metadata-policy file systems
+//     and a SCSI disk model), against which every table and figure of
+//     the paper's evaluation can be regenerated.
+//
+// Quick use:
+//
+//	lmbench.MaybeChild() // first line of main(); see below
+//	m, _ := lmbench.NewHostMachine()
+//	defer m.Close()
+//	db := &lmbench.DB{}
+//	skipped, err := lmbench.Run(m, lmbench.Options{}, db)
+//	_ = lmbench.RenderReport(os.Stdout, db)
+//
+// Binaries that run the process-creation benchmarks must call
+// MaybeChild first: the "fork & exit" rung re-executes the current
+// binary, and MaybeChild makes those children exit immediately.
+package lmbench
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/machines"
+	"repro/internal/paper"
+	"repro/internal/results"
+)
+
+// Machine is a benchmark target: the host or a simulated system.
+type Machine = core.Machine
+
+// Options bundles harness settings and workload sizes; the zero value
+// selects the paper's defaults (8MB regions, 1000 files, ...).
+type Options = core.Options
+
+// Experiment ties one of the paper's tables or figures to the code
+// that regenerates it.
+type Experiment = core.Experiment
+
+// DB is the mergeable, serializable results database.
+type DB = results.DB
+
+// Entry is one benchmark result (scalar or series).
+type Entry = results.Entry
+
+// ErrUnsupported marks primitives a backend cannot provide; Run skips
+// the corresponding experiments.
+var ErrUnsupported = core.ErrUnsupported
+
+// MaybeChild must be the first call in main() of any binary using the
+// host backend's process-creation benchmarks.
+func MaybeChild() { host.MaybeChild() }
+
+// NewHostMachine builds the backend measuring the real machine. Close
+// it when done.
+func NewHostMachine() (*host.Machine, error) { return host.New() }
+
+// SimMachineNames lists the built-in Table-1 machine profiles.
+func SimMachineNames() []string { return machines.Names() }
+
+// NewSimMachine builds one of the built-in simulated machines.
+func NewSimMachine(name string) (Machine, error) {
+	p, ok := machines.ByName(name)
+	if !ok {
+		return nil, &UnknownMachineError{Name: name}
+	}
+	return machines.Build(p)
+}
+
+// UnknownMachineError reports a name with no built-in profile.
+type UnknownMachineError struct{ Name string }
+
+func (e *UnknownMachineError) Error() string {
+	return "lmbench: unknown simulated machine " + e.Name
+}
+
+// Experiments returns the paper's evaluation (Tables 2-17, Figures
+// 1-2) in presentation order.
+func Experiments() []Experiment { return core.Experiments() }
+
+// Run executes all experiments (or those selected in only) on m and
+// merges the entries into db, returning the IDs the backend skipped.
+func Run(m Machine, opts Options, db *DB, only ...string) ([]string, error) {
+	return run(m, opts, db, false, only)
+}
+
+// RunExtended is Run plus the §7 future-work experiments (STREAM,
+// dirty/write latency, TLB, cache-to-cache); see Extensions.
+func RunExtended(m Machine, opts Options, db *DB, only ...string) ([]string, error) {
+	return run(m, opts, db, true, only)
+}
+
+func run(m Machine, opts Options, db *DB, extended bool, only []string) ([]string, error) {
+	s := &core.Suite{M: m, Opts: opts, Extended: extended}
+	if len(only) > 0 {
+		s.Only = map[string]bool{}
+		for _, id := range only {
+			s.Only[id] = true
+		}
+	}
+	return s.Run(db)
+}
+
+// Extensions returns the §7 future-work experiments run by
+// RunExtended.
+func Extensions() []Experiment { return core.Extensions() }
+
+// AutoSize probes m's memory hierarchy and grows base's region sizes
+// so the outermost cache cannot satisfy the "memory" benchmarks (§7
+// "Automatic sizing").
+func AutoSize(m Machine, base Options) (Options, error) { return core.AutoSize(m, base) }
+
+// RenderReport writes every populated table and figure in the paper's
+// presentation format.
+func RenderReport(w io.Writer, db *DB) error { return paper.RenderAll(w, db) }
+
+// RenderTable writes one table ("table2" ... "table17").
+func RenderTable(w io.Writer, id string, db *DB) error { return paper.RenderTable(w, id, db) }

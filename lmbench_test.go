@@ -1,0 +1,102 @@
+package lmbench
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/ptime"
+	"repro/internal/timing"
+)
+
+func TestFacadeSimRun(t *testing.T) {
+	names := SimMachineNames()
+	if len(names) < 10 {
+		t.Fatalf("SimMachineNames = %d entries", len(names))
+	}
+	m, err := NewSimMachine("Linux/i686")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := &DB{}
+	opts := Options{
+		Timing:  timing.Options{MinSampleTime: 100 * ptime.Microsecond, Samples: 2},
+		FSFiles: 50,
+	}
+	skipped, err := Run(m, opts, db, "table7", "table16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Errorf("skipped = %v", skipped)
+	}
+	if _, ok := db.Scalar("lat_syscall", "Linux/i686"); !ok {
+		t.Error("missing lat_syscall")
+	}
+
+	var buf bytes.Buffer
+	if err := RenderReport(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 7") {
+		t.Errorf("report missing Table 7:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := RenderTable(&buf, "table16", db); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 16") {
+		t.Error("RenderTable failed")
+	}
+}
+
+func TestFacadeUnknownMachine(t *testing.T) {
+	_, err := NewSimMachine("PDP-11")
+	var ue *UnknownMachineError
+	if !errors.As(err, &ue) || ue.Name != "PDP-11" {
+		t.Errorf("err = %v, want UnknownMachineError", err)
+	}
+	if ue.Error() == "" {
+		t.Error("empty error text")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(Experiments()) != 18 {
+		t.Errorf("Experiments = %d, want 18", len(Experiments()))
+	}
+}
+
+func TestFacadeExtendedAndAutoSize(t *testing.T) {
+	m, err := NewSimMachine("SGI Challenge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := &DB{}
+	opts := Options{
+		Timing:  timing.Options{MinSampleTime: 100 * ptime.Microsecond, Samples: 2},
+		MemSize: 1 << 20,
+	}
+	skipped, err := RunExtended(m, opts, db, "ext_stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Errorf("skipped = %v", skipped)
+	}
+	if _, ok := db.Scalar("stream.triad", "SGI Challenge"); !ok {
+		t.Error("missing stream.triad")
+	}
+	if len(Extensions()) < 5 {
+		t.Errorf("Extensions = %d", len(Extensions()))
+	}
+
+	sized, err := AutoSize(m, Options{MaxChaseSize: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sized.MemSize < 16<<20 {
+		t.Errorf("AutoSize = %d, want >= 16M for the 4M board cache", sized.MemSize)
+	}
+}
