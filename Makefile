@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build vet test race verify
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The scheduler and timing harness are the concurrency-sensitive
+# packages; run them under the race detector.
+race:
+	$(GO) test -race ./internal/core/... ./internal/timing/...
+
+# verify is the tier-1 gate: everything must build, vet clean, pass
+# tests, and the concurrent scheduler must be race-clean.
+verify: build vet test race

@@ -7,6 +7,7 @@
 package lmbench
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -40,7 +41,7 @@ func ablationRunOpts(b *testing.B, p machines.Profile, expID, key string, opts c
 	if !ok {
 		b.Fatalf("no experiment %q", expID)
 	}
-	entries, err := exp.Run(m, opts)
+	entries, err := exp.Run(context.Background(), m, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func BenchmarkAblationRandomPages(b *testing.B) {
 			CtxProcs: []int{8},
 			CtxSizes: []int64{0, 32 << 10},
 		}
-		entries, err := core.CtxSweep(m, opts)
+		entries, err := core.CtxSweep(context.Background(), m, opts)
 		if err != nil {
 			b.Fatal(err)
 		}

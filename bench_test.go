@@ -13,6 +13,7 @@ package lmbench
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -83,7 +84,7 @@ func runExperiment(b *testing.B, id string, names []string) *results.DB {
 	db := &results.DB{}
 	for _, name := range names {
 		m := benchMachine(b, name)
-		entries, err := exp.Run(m, benchOpts())
+		entries, err := exp.Run(context.Background(), m, benchOpts())
 		if err != nil {
 			if core.IsUnsupported(err) {
 				continue
@@ -201,7 +202,7 @@ func runExtension(b *testing.B, id string, names []string) *results.DB {
 	db := &results.DB{}
 	for _, name := range names {
 		m := benchMachine(b, name)
-		entries, err := exp.Run(m, benchOpts())
+		entries, err := exp.Run(context.Background(), m, benchOpts())
 		if err != nil {
 			if core.IsUnsupported(err) {
 				continue

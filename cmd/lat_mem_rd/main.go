@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -75,7 +76,7 @@ func run() error {
 		m = sm
 	}
 
-	entries, err := core.MemLatencySweep(m, core.Options{MaxChaseSize: maxSize})
+	entries, err := core.MemLatencySweep(context.Background(), m, core.Options{MaxChaseSize: maxSize})
 	if err != nil {
 		return err
 	}

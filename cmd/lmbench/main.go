@@ -9,14 +9,18 @@
 //	lmbench -machine 'Linux/i686'     # run on a simulated machine
 //	lmbench -machine all-sim          # run on every simulated machine
 //	lmbench -only table2,table7      # restrict the experiments
+//	lmbench -parallel 4              # run simulated machines concurrently
+//	lmbench -trace run.jsonl         # structured JSON-lines event trace
 //	lmbench -out results.db          # save the database
 //	lmbench -merge old.db ...        # preload databases before running
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/core"
@@ -46,6 +50,10 @@ func run() error {
 		quietFlag   = flag.Bool("quiet", false, "suppress progress output")
 		extFlag     = flag.Bool("extensions", false, "include the paper's section-7 future-work experiments")
 		summaryFlag = flag.Bool("summary", false, "print per-machine summary blocks instead of the paper tables")
+		parFlag     = flag.Int("parallel", 1, "machines run at once (simulated machines only; host runs are serialized)")
+		traceFlag   = flag.String("trace", "", "write a JSON-lines event trace to this file")
+		timeoutFlag = flag.Duration("timeout", 0, "per-experiment attempt deadline (0 = none)")
+		retryFlag   = flag.Int("retries", 0, "extra attempts for a failing experiment")
 	)
 	var merges multiFlag
 	flag.Var(&merges, "merge", "preload a results database (repeatable)")
@@ -145,19 +153,50 @@ func run() error {
 		}
 	}
 
-	for _, m := range targets {
-		s := &core.Suite{M: m, Opts: opts, Only: only, Extended: *extFlag}
-		if !*quietFlag {
-			s.Log = os.Stderr
-			fmt.Fprintf(os.Stderr, "== %s ==\n", m.Name())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var sinks core.MultiSink
+	if !*quietFlag {
+		if *parFlag > 1 && len(targets) > 1 {
+			sinks = append(sinks, core.NewPrefixedTextSink(os.Stderr))
+		} else {
+			sinks = append(sinks, core.NewTextSink(os.Stderr))
 		}
-		skipped, err := s.Run(db)
+	}
+	if *traceFlag != "" {
+		tf, err := os.Create(*traceFlag)
 		if err != nil {
-			return fmt.Errorf("%s: %w", m.Name(), err)
+			return err
 		}
-		if len(skipped) > 0 && !*quietFlag {
-			fmt.Fprintf(os.Stderr, "%s: skipped (unsupported): %s\n",
-				m.Name(), strings.Join(skipped, ", "))
+		defer func() { _ = tf.Close() }()
+		sinks = append(sinks, core.NewJSONLSink(tf))
+	}
+	var sink core.EventSink
+	if len(sinks) > 0 {
+		sink = sinks
+	}
+
+	runner := &core.Runner{
+		Machines: targets,
+		Opts:     opts,
+		Parallel: *parFlag,
+		Events:   sink,
+		Only:     only,
+		Extended: *extFlag,
+		Timeout:  *timeoutFlag,
+		Retries:  *retryFlag,
+	}
+	skipped, err := runner.Run(ctx, db)
+	if err != nil {
+		return err
+	}
+	if !*quietFlag {
+		for _, m := range targets {
+			if ids := skipped[m.Name()]; len(ids) > 0 {
+				fmt.Fprintf(os.Stderr, "%s: skipped (unsupported): %s\n",
+					m.Name(), strings.Join(ids, ", "))
+			}
 		}
 	}
 

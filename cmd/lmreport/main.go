@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -83,9 +84,9 @@ func run() error {
 		}
 		s := &core.Suite{M: m, Opts: opts}
 		if !*quietFlag {
-			s.Log = os.Stderr
+			s.Events = core.NewTextSink(os.Stderr)
 		}
-		if _, err := s.Run(db); err != nil {
+		if _, err := s.Run(context.Background(), db); err != nil {
 			return fmt.Errorf("%s: %w", n, err)
 		}
 	}

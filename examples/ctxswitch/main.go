@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -53,7 +54,7 @@ func main() {
 		CtxSizes: []int64{0, 4 << 10, 16 << 10, 32 << 10, 64 << 10},
 	}
 	fmt.Fprintf(os.Stderr, "measuring context switches on %s...\n", m.Name())
-	entries, err := core.CtxSweep(m, opts)
+	entries, err := core.CtxSweep(context.Background(), m, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

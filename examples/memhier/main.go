@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -51,7 +52,7 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "sweeping %s (sizes up to %dMB)...\n", m.Name(), maxSize>>20)
-	entries, err := core.MemLatencySweep(m, core.Options{MaxChaseSize: maxSize})
+	entries, err := core.MemLatencySweep(context.Background(), m, core.Options{MaxChaseSize: maxSize})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -56,7 +57,7 @@ func main() {
 	for _, m := range []core.Machine{hm, sm} {
 		fmt.Fprintf(os.Stderr, "measuring %s...\n", m.Name())
 		s := &core.Suite{M: m, Opts: opts, Only: only}
-		if _, err := s.Run(db); err != nil {
+		if _, err := s.Run(context.Background(), db); err != nil {
 			log.Fatalf("%s: %v", m.Name(), err)
 		}
 	}

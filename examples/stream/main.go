@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -51,7 +52,7 @@ func main() {
 	// §7 "Automatic sizing": make sure the STREAM arrays dwarf the
 	// outermost cache.
 	base := core.Options{MaxChaseSize: 4 << 20}
-	opts, err := core.AutoSize(m, base)
+	opts, err := core.AutoSize(context.Background(), m, base)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,9 +64,9 @@ func main() {
 		Only: map[string]bool{
 			"ext_stream": true, "ext_memvar": true, "ext_tlb": true, "ext_c2c": true,
 		},
-		Log: os.Stderr,
+		Events: core.NewTextSink(os.Stderr),
 	}
-	skipped, err := s.Run(db)
+	skipped, err := s.Run(context.Background(), db)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/results"
@@ -20,8 +21,11 @@ func bwOf(meas timing.Measurement, bytes int64) float64 {
 // write bandwidth over large regions ("In order to test memory
 // bandwidth rather than cache bandwidth, both benchmarks copy an 8M
 // area to another 8M area").
-func BWMem(m Machine, opts Options) ([]results.Entry, error) {
-	opts = opts.withDefaults()
+func BWMem(ctx context.Context, m Machine, opts Options) ([]results.Entry, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	size := opts.MemSize
 	mem := m.Mem()
 	src, err := mem.Alloc(size)
@@ -73,7 +77,7 @@ func BWMem(m Machine, opts Options) ([]results.Entry, error) {
 		}},
 	}
 	for _, c := range cases {
-		meas, err := timing.BenchLoop(m.Clock(), opts.Timing, c.op)
+		meas, err := timing.BenchLoopCtx(ctx, m.Clock(), opts.Timing, c.op)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.name, err)
 		}
@@ -86,11 +90,14 @@ func BWMem(m Machine, opts Options) ([]results.Entry, error) {
 // bandwidth is measured by creating two processes ... which transfer
 // 50M of data in 64K transfers"; TCP moves 1M page-aligned transfers
 // with 1M socket buffers.
-func BWIPC(m Machine, opts Options) ([]results.Entry, error) {
-	opts = opts.withDefaults()
+func BWIPC(ctx context.Context, m Machine, opts Options) ([]results.Entry, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	net := m.Net()
 
-	pipeMeas, err := timing.BenchLoop(m.Clock(), opts.Timing, func(n int64) error {
+	pipeMeas, err := timing.BenchLoopCtx(ctx, m.Clock(), opts.Timing, func(n int64) error {
 		for i := int64(0); i < n; i++ {
 			if err := net.PipeTransfer(opts.PipeBytes); err != nil {
 				return err
@@ -101,7 +108,7 @@ func BWIPC(m Machine, opts Options) ([]results.Entry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bw_ipc.pipe: %w", err)
 	}
-	tcpMeas, err := timing.BenchLoop(m.Clock(), opts.Timing, func(n int64) error {
+	tcpMeas, err := timing.BenchLoopCtx(ctx, m.Clock(), opts.Timing, func(n int64) error {
 		for i := int64(0); i < n; i++ {
 			if err := net.TCPTransfer(opts.TCPBytes); err != nil {
 				return err
@@ -122,13 +129,16 @@ func BWIPC(m Machine, opts Options) ([]results.Entry, error) {
 
 // BWRemoteTCP is Table 4: TCP bandwidth over real media. Backends
 // without remote media (the host) contribute nothing.
-func BWRemoteTCP(m Machine, opts Options) ([]results.Entry, error) {
-	opts = opts.withDefaults()
+func BWRemoteTCP(ctx context.Context, m Machine, opts Options) ([]results.Entry, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	net := m.Net()
 	var out []results.Entry
 	for _, medium := range net.Media() {
 		med := medium
-		meas, err := timing.BenchLoop(m.Clock(), opts.Timing, func(n int64) error {
+		meas, err := timing.BenchLoopCtx(ctx, m.Clock(), opts.Timing, func(n int64) error {
 			for i := int64(0); i < n; i++ {
 				if err := net.RemoteTCPTransfer(med, opts.TCPBytes); err != nil {
 					return err
@@ -149,8 +159,11 @@ func BWRemoteTCP(m Machine, opts Options) ([]results.Entry, error) {
 // mmap. "The benchmark here is not an I/O benchmark in that no disk
 // activity is involved. We wanted to measure the overhead of reusing
 // data."
-func BWFile(m Machine, opts Options) ([]results.Entry, error) {
-	opts = opts.withDefaults()
+func BWFile(ctx context.Context, m Machine, opts Options) ([]results.Entry, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	fs := m.FS()
 	const name = "bw_file_reread.dat"
 	if err := fs.WriteFile(name, opts.FileSize); err != nil {
@@ -158,7 +171,7 @@ func BWFile(m Machine, opts Options) ([]results.Entry, error) {
 	}
 	defer func() { _ = fs.Cleanup() }()
 
-	readMeas, err := timing.BenchLoop(m.Clock(), opts.Timing, func(n int64) error {
+	readMeas, err := timing.BenchLoopCtx(ctx, m.Clock(), opts.Timing, func(n int64) error {
 		for i := int64(0); i < n; i++ {
 			if err := fs.ReadCached(name, 0, opts.FileSize); err != nil {
 				return err
@@ -169,7 +182,7 @@ func BWFile(m Machine, opts Options) ([]results.Entry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bw_file.read: %w", err)
 	}
-	mmapMeas, err := timing.BenchLoop(m.Clock(), opts.Timing, func(n int64) error {
+	mmapMeas, err := timing.BenchLoopCtx(ctx, m.Clock(), opts.Timing, func(n int64) error {
 		for i := int64(0); i < n; i++ {
 			if err := fs.MmapRead(name, 0, opts.FileSize); err != nil {
 				return err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -22,9 +23,12 @@ func loop(op func() error) func(n int64) error {
 
 // LatSyscall is §6.3 / Table 7: one nontrivial kernel entry, measured
 // "by repeatedly writing one word to /dev/null".
-func LatSyscall(m Machine, opts Options) ([]results.Entry, error) {
-	opts = opts.withDefaults()
-	meas, err := timing.BenchLoop(m.Clock(), opts.Timing, loop(m.OS().NullWrite))
+func LatSyscall(ctx context.Context, m Machine, opts Options) ([]results.Entry, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	meas, err := timing.BenchLoopCtx(ctx, m.Clock(), opts.Timing, loop(m.OS().NullWrite))
 	if err != nil {
 		return nil, fmt.Errorf("lat_syscall: %w", err)
 	}
@@ -34,10 +38,13 @@ func LatSyscall(m Machine, opts Options) ([]results.Entry, error) {
 // LatSignal is §6.4 / Table 8: signal-handler installation and
 // dispatch, "both ... in two separate loops, within the context of one
 // process".
-func LatSignal(m Machine, opts Options) ([]results.Entry, error) {
-	opts = opts.withDefaults()
+func LatSignal(ctx context.Context, m Machine, opts Options) ([]results.Entry, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	os := m.OS()
-	install, err := timing.BenchLoop(m.Clock(), opts.Timing, loop(os.SignalInstall))
+	install, err := timing.BenchLoopCtx(ctx, m.Clock(), opts.Timing, loop(os.SignalInstall))
 	if err != nil {
 		return nil, fmt.Errorf("lat_sig.install: %w", err)
 	}
@@ -45,7 +52,7 @@ func LatSignal(m Machine, opts Options) ([]results.Entry, error) {
 	if err := os.SignalInstall(); err != nil {
 		return nil, err
 	}
-	catch, err := timing.BenchLoop(m.Clock(), opts.Timing, loop(os.SignalCatch))
+	catch, err := timing.BenchLoopCtx(ctx, m.Clock(), opts.Timing, loop(os.SignalCatch))
 	if err != nil {
 		return nil, fmt.Errorf("lat_sig.catch: %w", err)
 	}
@@ -58,8 +65,11 @@ func LatSignal(m Machine, opts Options) ([]results.Entry, error) {
 // LatProc is §6.5 / Table 9: the process-creation ladder. These are
 // millisecond-scale operations, so the harness needs no inner scaling
 // on real machines; the loop still protects against coarse clocks.
-func LatProc(m Machine, opts Options) ([]results.Entry, error) {
-	opts = opts.withDefaults()
+func LatProc(ctx context.Context, m Machine, opts Options) ([]results.Entry, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	os := m.OS()
 	cases := []struct {
 		name string
@@ -71,7 +81,7 @@ func LatProc(m Machine, opts Options) ([]results.Entry, error) {
 	}
 	var out []results.Entry
 	for _, c := range cases {
-		meas, err := timing.BenchLoop(m.Clock(), opts.Timing, loop(c.op))
+		meas, err := timing.BenchLoopCtx(ctx, m.Clock(), opts.Timing, loop(c.op))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.name, err)
 		}
@@ -84,8 +94,11 @@ func LatProc(m Machine, opts Options) ([]results.Entry, error) {
 // latencies, all "pass a small message back and forth between two
 // processes; the reported results are always the microseconds needed
 // to do one round trip".
-func LatIPC(m Machine, opts Options) ([]results.Entry, error) {
-	opts = opts.withDefaults()
+func LatIPC(ctx context.Context, m Machine, opts Options) ([]results.Entry, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	net := m.Net()
 	cases := []struct {
 		name string
@@ -99,7 +112,7 @@ func LatIPC(m Machine, opts Options) ([]results.Entry, error) {
 	}
 	var out []results.Entry
 	for _, c := range cases {
-		meas, err := timing.BenchLoop(m.Clock(), opts.Timing, loop(c.op))
+		meas, err := timing.BenchLoopCtx(ctx, m.Clock(), opts.Timing, loop(c.op))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.name, err)
 		}
@@ -111,8 +124,11 @@ func LatIPC(m Machine, opts Options) ([]results.Entry, error) {
 // LatConnect is Table 15: TCP connection establishment. Following the
 // paper, "twenty connects are completed and the fastest of them is
 // used as the result".
-func LatConnect(m Machine, opts Options) ([]results.Entry, error) {
-	opts = opts.withDefaults()
+func LatConnect(ctx context.Context, m Machine, opts Options) ([]results.Entry, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	best, err := timing.MinOnce(m.Clock(), 20, m.Net().TCPConnect)
 	if err != nil {
 		return nil, fmt.Errorf("lat_connect: %w", err)
@@ -122,8 +138,11 @@ func LatConnect(m Machine, opts Options) ([]results.Entry, error) {
 
 // LatRemote is Table 14: round-trip latency over real media, TCP and
 // UDP variants.
-func LatRemote(m Machine, opts Options) ([]results.Entry, error) {
-	opts = opts.withDefaults()
+func LatRemote(ctx context.Context, m Machine, opts Options) ([]results.Entry, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	net := m.Net()
 	var out []results.Entry
 	for _, medium := range net.Media() {
@@ -134,7 +153,7 @@ func LatRemote(m Machine, opts Options) ([]results.Entry, error) {
 				proto = "udp"
 			}
 			isUDP := udp
-			meas, err := timing.BenchLoop(m.Clock(), opts.Timing, loop(func() error {
+			meas, err := timing.BenchLoopCtx(ctx, m.Clock(), opts.Timing, loop(func() error {
 				return net.RemoteRoundTrip(med, isUDP)
 			}))
 			if err != nil {
@@ -149,8 +168,11 @@ func LatRemote(m Machine, opts Options) ([]results.Entry, error) {
 
 // LatFS is §6.8 / Table 16: create and delete 1000 zero-length files
 // with short names in one directory.
-func LatFS(m Machine, opts Options) ([]results.Entry, error) {
-	opts = opts.withDefaults()
+func LatFS(ctx context.Context, m Machine, opts Options) ([]results.Entry, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	fs := m.FS()
 	n := opts.FSFiles
 	names := make([]string, n)
@@ -207,8 +229,11 @@ func shortName(i int) string {
 
 // LatDisk is §6.9 / Table 17: per-command SCSI overhead, measured by
 // sequential 512-byte reads served from the drive's track buffer.
-func LatDisk(m Machine, opts Options) ([]results.Entry, error) {
-	opts = opts.withDefaults()
+func LatDisk(ctx context.Context, m Machine, opts Options) ([]results.Entry, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	disk := m.Disk()
 	if disk == nil {
 		return nil, fmt.Errorf("lat_disk: %w", ErrUnsupported)
@@ -220,7 +245,7 @@ func LatDisk(m Machine, opts Options) ([]results.Entry, error) {
 	if err := disk.SeqRead512(); err != nil {
 		return nil, err
 	}
-	meas, err := timing.BenchLoop(m.Clock(), opts.Timing, loop(disk.SeqRead512))
+	meas, err := timing.BenchLoopCtx(ctx, m.Clock(), opts.Timing, loop(disk.SeqRead512))
 	if err != nil {
 		return nil, fmt.Errorf("lat_disk: %w", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analysis"
@@ -16,8 +17,11 @@ var ChaseStrides = []int64{8, 16, 32, 64, 128, 256, 512}
 // array sizes and strides. "The benchmark varies two parameters, array
 // size and array stride. ... The time reported is pure latency time"
 // (one load-instruction cycle subtracted).
-func MemLatencySweep(m Machine, opts Options) ([]results.Entry, error) {
-	opts = opts.withDefaults()
+func MemLatencySweep(ctx context.Context, m Machine, opts Options) ([]results.Entry, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	mem := m.Mem()
 	region, err := mem.Alloc(opts.MaxChaseSize)
 	if err != nil {
@@ -31,6 +35,9 @@ func MemLatencySweep(m Machine, opts Options) ([]results.Entry, error) {
 		for size := int64(512); size <= opts.MaxChaseSize; size *= 2 {
 			if size < 2*stride {
 				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
 			if err := mem.FlushCaches(); err != nil && !IsUnsupported(err) {
 				return nil, err
@@ -73,8 +80,8 @@ func MemLatencySweep(m Machine, opts Options) ([]results.Entry, error) {
 
 // CacheParams is Table 6: cache and memory latencies and sizes
 // extracted from the Figure-1 sweep.
-func CacheParams(m Machine, opts Options) ([]results.Entry, error) {
-	sweep, err := MemLatencySweep(m, opts)
+func CacheParams(ctx context.Context, m Machine, opts Options) ([]results.Entry, error) {
+	sweep, err := MemLatencySweep(ctx, m, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -103,8 +110,11 @@ func CacheParams(m Machine, opts Options) ([]results.Entry, error) {
 // the cost of passing the token through a ring of pipes in a single
 // process. This overhead time ... is not included in the reported
 // context switch time."
-func CtxSweep(m Machine, opts Options) ([]results.Entry, error) {
-	opts = opts.withDefaults()
+func CtxSweep(ctx context.Context, m Machine, opts Options) ([]results.Entry, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	osops := m.OS()
 
 	// perHop measures the steady-state per-hop time of a ring: one
@@ -115,7 +125,7 @@ func CtxSweep(m Machine, opts Options) ([]results.Entry, error) {
 			return 0, err
 		}
 		defer func() { _ = ring.Close() }()
-		meas, err := timing.BenchLoop(m.Clock(), opts.Timing, func(n int64) error {
+		meas, err := timing.BenchLoopCtx(ctx, m.Clock(), opts.Timing, func(n int64) error {
 			for i := int64(0); i < n; i++ {
 				if err := ring.Pass(); err != nil {
 					return err
@@ -132,6 +142,9 @@ func CtxSweep(m Machine, opts Options) ([]results.Entry, error) {
 	var series []results.Point
 	scalars := map[string]float64{}
 	for _, size := range opts.CtxSizes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		overhead, err := perHop(1, size)
 		if err != nil {
 			return nil, fmt.Errorf("lat_ctx overhead (size %d): %w", size, err)

@@ -12,7 +12,9 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
 
 	"repro/internal/timing"
 )
@@ -157,6 +159,16 @@ type DiskOps interface {
 	Reset() error
 }
 
+// ContextBinder is an optional Machine capability: backends whose
+// primitives block in the operating system (the host's pipe reads,
+// socket round trips, child processes) implement it so the scheduler
+// can hand them the context governing the current experiment. A bound
+// context's deadline and cancellation propagate into the blocking
+// calls; binding context.Background() clears any previous binding.
+type ContextBinder interface {
+	BindContext(ctx context.Context)
+}
+
 // Machine is a complete benchmark target.
 type Machine interface {
 	// Name identifies the machine in the results database
@@ -198,23 +210,58 @@ type Options struct {
 	CtxSizes []int64
 }
 
-func (o Options) withDefaults() Options {
-	if o.MemSize <= 0 {
+// Normalize validates o and fills in the paper's defaults for unset
+// (zero or empty) fields. Zero values mean "use the default"; negative
+// sizes, non-positive ring sizes and negative footprints are
+// nonsensical and rejected. The timing options are normalized the same
+// way through timing.Options.Normalize.
+func (o Options) Normalize() (Options, error) {
+	sizes := []struct {
+		name string
+		v    int64
+	}{
+		{"MemSize", o.MemSize},
+		{"FileSize", o.FileSize},
+		{"PipeBytes", o.PipeBytes},
+		{"TCPBytes", o.TCPBytes},
+		{"MaxChaseSize", o.MaxChaseSize},
+		{"FSFiles", int64(o.FSFiles)},
+	}
+	for _, s := range sizes {
+		if s.v < 0 {
+			return o, fmt.Errorf("core: negative %s %d", s.name, s.v)
+		}
+	}
+	for _, p := range o.CtxProcs {
+		if p < 1 {
+			return o, fmt.Errorf("core: CtxProcs entry %d: a ring needs at least one process", p)
+		}
+	}
+	for _, s := range o.CtxSizes {
+		if s < 0 {
+			return o, fmt.Errorf("core: negative CtxSizes entry %d", s)
+		}
+	}
+	var err error
+	if o.Timing, err = o.Timing.Normalize(); err != nil {
+		return o, err
+	}
+	if o.MemSize == 0 {
 		o.MemSize = 8 << 20
 	}
-	if o.FileSize <= 0 {
+	if o.FileSize == 0 {
 		o.FileSize = 8 << 20
 	}
-	if o.PipeBytes <= 0 {
+	if o.PipeBytes == 0 {
 		o.PipeBytes = 512 << 10
 	}
-	if o.TCPBytes <= 0 {
+	if o.TCPBytes == 0 {
 		o.TCPBytes = 1 << 20
 	}
-	if o.MaxChaseSize <= 0 {
+	if o.MaxChaseSize == 0 {
 		o.MaxChaseSize = 8 << 20
 	}
-	if o.FSFiles <= 0 {
+	if o.FSFiles == 0 {
 		o.FSFiles = 1000
 	}
 	if len(o.CtxProcs) == 0 {
@@ -223,5 +270,5 @@ func (o Options) withDefaults() Options {
 	if len(o.CtxSizes) == 0 {
 		o.CtxSizes = []int64{0, 4 << 10, 16 << 10, 32 << 10, 64 << 10}
 	}
-	return o
+	return o, nil
 }

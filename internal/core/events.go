@@ -1,0 +1,161 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventKind names a suite-lifecycle transition.
+type EventKind string
+
+// The event stream a suite run emits. Every executed experiment
+// produces one ExperimentStarted per attempt and exactly one terminal
+// event (Finished, Skipped or Failed); each abandoned attempt in
+// between produces an ExperimentRetried. Machine events bracket one
+// machine's whole run when the scheduler drives several machines.
+const (
+	MachineStarted    EventKind = "machine_started"
+	MachineFinished   EventKind = "machine_finished"
+	ExperimentStarted EventKind = "experiment_started"
+	// ExperimentFinished reports a successful run: Attempt is the
+	// attempt that succeeded, Duration its elapsed wall time, Entries
+	// the number of database entries it produced.
+	ExperimentFinished EventKind = "experiment_finished"
+	// ExperimentRetried reports an abandoned attempt: Err holds the
+	// failure and Attempt the attempt number that failed.
+	ExperimentRetried EventKind = "experiment_retried"
+	// ExperimentSkipped reports a backend that cannot run the
+	// experiment (ErrUnsupported).
+	ExperimentSkipped EventKind = "experiment_skipped"
+	// ExperimentFailed reports a run abandoned for good: the error was
+	// not unsupported and the retry budget (or the context) is spent.
+	ExperimentFailed EventKind = "experiment_failed"
+)
+
+// Event is one structured record in the run's event stream.
+type Event struct {
+	Kind EventKind `json:"kind"`
+	// Time is the wall-clock moment the event was emitted.
+	Time time.Time `json:"time"`
+	// Machine is the machine's results-database name.
+	Machine string `json:"machine"`
+	// Experiment is the experiment ID; empty on machine events.
+	Experiment string `json:"experiment,omitempty"`
+	// Title is the experiment's paper caption.
+	Title string `json:"title,omitempty"`
+	// Attempt is the 1-based attempt number of the run this event
+	// describes (0 on machine events).
+	Attempt int `json:"attempt,omitempty"`
+	// Duration is the elapsed wall time of the finished, retried or
+	// failed attempt, in nanoseconds; for MachineFinished it spans the
+	// machine's whole run.
+	Duration time.Duration `json:"duration_ns,omitempty"`
+	// Entries is the number of database entries a finished experiment
+	// produced.
+	Entries int `json:"entries,omitempty"`
+	// Err describes the failure on retried, skipped and failed events.
+	Err string `json:"error,omitempty"`
+}
+
+// EventSink receives suite-lifecycle events. Implementations must be
+// safe for concurrent use: the scheduler delivers events from several
+// machine goroutines at once.
+type EventSink interface {
+	Event(Event)
+}
+
+// discardSink drops everything; it stands in for a nil sink so the
+// suite never branches on "is there a sink".
+type discardSink struct{}
+
+func (discardSink) Event(Event) {}
+
+func sinkOrDiscard(s EventSink) EventSink {
+	if s == nil {
+		return discardSink{}
+	}
+	return s
+}
+
+// TextSink renders events as the classic progress lines ("running
+// table2   Table 2. ...") the suite always printed. It is the adapter
+// that preserves the old Log io.Writer behavior on top of the event
+// stream.
+type TextSink struct {
+	mu sync.Mutex
+	w  io.Writer
+	// withMachine prefixes experiment lines with the machine name,
+	// which keeps interleaved parallel output attributable.
+	withMachine bool
+}
+
+// NewTextSink writes progress lines to w.
+func NewTextSink(w io.Writer) *TextSink { return &TextSink{w: w} }
+
+// NewPrefixedTextSink is NewTextSink with a "[machine] " prefix on
+// every experiment line, for parallel runs whose output interleaves.
+func NewPrefixedTextSink(w io.Writer) *TextSink {
+	return &TextSink{w: w, withMachine: true}
+}
+
+// Event implements EventSink.
+func (t *TextSink) Event(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	prefix := ""
+	if t.withMachine {
+		prefix = "[" + e.Machine + "] "
+	}
+	switch e.Kind {
+	case MachineStarted:
+		fmt.Fprintf(t.w, "== %s ==\n", e.Machine)
+	case MachineFinished:
+		if e.Err != "" {
+			fmt.Fprintf(t.w, "%s== %s failed: %s ==\n", prefix, e.Machine, e.Err)
+		}
+	case ExperimentStarted:
+		if e.Attempt <= 1 {
+			fmt.Fprintf(t.w, "%srunning %-8s %s\n", prefix, e.Experiment, e.Title)
+		}
+	case ExperimentRetried:
+		fmt.Fprintf(t.w, "%sretrying %-8s attempt %d failed: %s\n",
+			prefix, e.Experiment, e.Attempt, e.Err)
+	case ExperimentFailed:
+		fmt.Fprintf(t.w, "%sfailed  %-8s after %d attempt(s): %s\n",
+			prefix, e.Experiment, e.Attempt, e.Err)
+	}
+}
+
+// JSONLSink writes one JSON object per event, newline-delimited — the
+// machine-readable trace behind `lmbench -trace file.jsonl`.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLSink writes JSON-lines events to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Event implements EventSink.
+func (j *JSONLSink) Event(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_ = j.enc.Encode(e)
+}
+
+// MultiSink fans one event out to several sinks in order.
+type MultiSink []EventSink
+
+// Event implements EventSink.
+func (m MultiSink) Event(e Event) {
+	for _, s := range m {
+		if s != nil {
+			s.Event(e)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ptime"
@@ -140,8 +141,11 @@ type PageToucher interface {
 // page is no longer in memory. The test program starts small and works
 // forward until either enough memory is seen as present or the memory
 // limit is reached."
-func ExtMemSize(m Machine, opts Options) ([]results.Entry, error) {
-	opts = opts.withDefaults()
+func ExtMemSize(ctx context.Context, m Machine, opts Options) ([]results.Entry, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	if ms, ok := m.OS().(MemSizer); ok {
 		bytes, err := ms.PhysicalMemoryBytes()
 		if err != nil {
@@ -160,6 +164,9 @@ func ExtMemSize(m Machine, opts Options) ([]results.Entry, error) {
 	good := int64(0)
 	thrash := int64(0)
 	for n := int64(256); n*page <= capBytes; n *= 2 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// First pass populates (the probe program "clears the
 		// memory"); the timed pass strides through it again.
 		if err := pt.TouchPages(n); err != nil {
@@ -197,8 +204,11 @@ func ExtMemSize(m Machine, opts Options) ([]results.Entry, error) {
 
 // ExtStream runs the four STREAM kernels and reports MB/s with
 // STREAM's byte accounting.
-func ExtStream(m Machine, opts Options) ([]results.Entry, error) {
-	opts = opts.withDefaults()
+func ExtStream(ctx context.Context, m Machine, opts Options) ([]results.Entry, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	so, ok := m.Mem().(StreamOps)
 	if !ok {
 		return nil, fmt.Errorf("stream: %w", ErrUnsupported)
@@ -207,7 +217,7 @@ func ExtStream(m Machine, opts Options) ([]results.Entry, error) {
 	var out []results.Entry
 	for _, k := range []StreamKind{StreamCopy, StreamScale, StreamAdd, StreamTriad} {
 		kind := k
-		meas, err := timing.BenchLoop(m.Clock(), opts.Timing, loop(func() error {
+		meas, err := timing.BenchLoopCtx(ctx, m.Clock(), opts.Timing, loop(func() error {
 			return so.RunStreamKernel(kind, bytes)
 		}))
 		if err != nil {
@@ -223,8 +233,11 @@ func ExtStream(m Machine, opts Options) ([]results.Entry, error) {
 // ExtMemVariants measures dirty-read and write latency next to the
 // clean read chase, at a line-defeating stride across sizes, and
 // reports the memory-plateau values.
-func ExtMemVariants(m Machine, opts Options) ([]results.Entry, error) {
-	opts = opts.withDefaults()
+func ExtMemVariants(ctx context.Context, m Machine, opts Options) ([]results.Entry, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	ext, ok := m.Mem().(MemExtOps)
 	if !ok {
 		return nil, fmt.Errorf("memvar: %w", ErrUnsupported)
@@ -240,6 +253,9 @@ func ExtMemVariants(m Machine, opts Options) ([]results.Entry, error) {
 		variant := v
 		var series []results.Point
 		for size := int64(4 << 10); size <= opts.MaxChaseSize; size *= 2 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if err := mem.FlushCaches(); err != nil && !IsUnsupported(err) {
 				return nil, err
 			}
@@ -284,8 +300,11 @@ func ExtMemVariants(m Machine, opts Options) ([]results.Entry, error) {
 // ExtTLB sweeps a one-line-per-page chase past the TLB size and
 // extracts the TLB capacity and per-miss cost from the step in the
 // curve.
-func ExtTLB(m Machine, opts Options) ([]results.Entry, error) {
-	opts = opts.withDefaults()
+func ExtTLB(ctx context.Context, m Machine, opts Options) ([]results.Entry, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	ext, ok := m.Mem().(MemExtOps)
 	if !ok {
 		return nil, fmt.Errorf("tlb: %w", ErrUnsupported)
@@ -293,6 +312,9 @@ func ExtTLB(m Machine, opts Options) ([]results.Entry, error) {
 	var series []results.Point
 	maxPages := 2048
 	for pages := 4; pages <= maxPages; pages *= 2 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ch, err := ext.NewPageChase(pages)
 		if err != nil {
 			return nil, err
@@ -340,18 +362,21 @@ func ExtTLB(m Machine, opts Options) ([]results.Entry, error) {
 }
 
 // ExtCacheToCache measures MP cache-to-cache latency and bandwidth.
-func ExtCacheToCache(m Machine, opts Options) ([]results.Entry, error) {
-	opts = opts.withDefaults()
+func ExtCacheToCache(ctx context.Context, m Machine, opts Options) ([]results.Entry, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	smp, ok := m.OS().(SMPOps)
 	if !ok {
 		return nil, fmt.Errorf("c2c: %w", ErrUnsupported)
 	}
-	lat, err := timing.BenchLoop(m.Clock(), opts.Timing, loop(smp.CacheToCachePingPong))
+	lat, err := timing.BenchLoopCtx(ctx, m.Clock(), opts.Timing, loop(smp.CacheToCachePingPong))
 	if err != nil {
 		return nil, fmt.Errorf("lat_c2c: %w", err)
 	}
 	const xferBytes = 256 << 10
-	bw, err := timing.BenchLoop(m.Clock(), opts.Timing, loop(func() error {
+	bw, err := timing.BenchLoopCtx(ctx, m.Clock(), opts.Timing, loop(func() error {
 		return smp.CacheToCacheTransfer(xferBytes)
 	}))
 	if err != nil {
@@ -405,8 +430,11 @@ func Extensions() []Experiment {
 // that the external cache had no effect". The probe walks a coarse
 // chase (stride 256) and finds the last size still below twice the
 // small-size latency.
-func AutoSize(m Machine, base Options) (Options, error) {
-	base = base.withDefaults()
+func AutoSize(ctx context.Context, m Machine, base Options) (Options, error) {
+	base, err := base.Normalize()
+	if err != nil {
+		return base, err
+	}
 	mem := m.Mem()
 	probeMax := base.MaxChaseSize * 8
 	region, err := mem.Alloc(probeMax)
@@ -417,6 +445,9 @@ func AutoSize(m Machine, base Options) (Options, error) {
 	var sizes []int64
 	var lats []float64
 	for size := int64(8 << 10); size <= probeMax; size *= 2 {
+		if err := ctx.Err(); err != nil {
+			return base, err
+		}
 		if err := mem.FlushCaches(); err != nil && !IsUnsupported(err) {
 			return base, err
 		}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 
 func TestExtStreamOnSim(t *testing.T) {
 	m := simMachine(t, "Linux/i686")
-	entries, err := core.ExtStream(m, smallOpts())
+	entries, err := core.ExtStream(context.Background(), m, smallOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestExtMemVariantsDirtyCostsMore(t *testing.T) {
 	m := simMachine(t, "Linux/i686")
 	opts := smallOpts()
 	opts.MaxChaseSize = 4 << 20
-	entries, err := core.ExtMemVariants(m, opts)
+	entries, err := core.ExtMemVariants(context.Background(), m, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestExtMemVariantsDirtyCostsMore(t *testing.T) {
 
 func TestExtTLBFindsEntries(t *testing.T) {
 	m := simMachine(t, "Linux/i686") // 64-entry TLB, 120ns miss
-	entries, err := core.ExtTLB(m, smallOpts())
+	entries, err := core.ExtTLB(context.Background(), m, smallOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestExtTLBFindsEntries(t *testing.T) {
 func TestExtCacheToCache(t *testing.T) {
 	// SGI Challenge is an MP machine; the extension must work there.
 	m := simMachine(t, "SGI Challenge")
-	entries, err := core.ExtCacheToCache(m, smallOpts())
+	entries, err := core.ExtCacheToCache(context.Background(), m, smallOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestExtCacheToCache(t *testing.T) {
 
 	// Uniprocessors skip it.
 	uni := simMachine(t, "Linux/i686")
-	if _, err := core.ExtCacheToCache(uni, smallOpts()); !core.IsUnsupported(err) {
+	if _, err := core.ExtCacheToCache(context.Background(), uni, smallOpts()); !core.IsUnsupported(err) {
 		t.Errorf("uniprocessor c2c err = %v, want unsupported", err)
 	}
 }
@@ -126,7 +127,7 @@ func TestSuiteExtended(t *testing.T) {
 		M: m, Opts: smallOpts(), Extended: true,
 		Only: map[string]bool{"ext_stream": true, "ext_tlb": true, "ext_c2c": true},
 	}
-	skipped, err := s.Run(db)
+	skipped, err := s.Run(context.Background(), db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestSuiteExtended(t *testing.T) {
 	// Without Extended, extension IDs are ignored entirely.
 	db2 := &results.DB{}
 	s2 := &core.Suite{M: m, Opts: smallOpts(), Only: map[string]bool{"ext_stream": true}}
-	if _, err := s2.Run(db2); err != nil {
+	if _, err := s2.Run(context.Background(), db2); err != nil {
 		t.Fatal(err)
 	}
 	if db2.Len() != 0 {
@@ -161,7 +162,7 @@ func TestAutoSize(t *testing.T) {
 	m := simMachine(t, "SGI Challenge")
 	base := smallOpts()
 	base.MaxChaseSize = 4 << 20 // probe up to 32M
-	got, err := core.AutoSize(m, base)
+	got, err := core.AutoSize(context.Background(), m, base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestAutoSize(t *testing.T) {
 	base2 := smallOpts()
 	base2.MemSize = 8 << 20
 	base2.MaxChaseSize = 1 << 20
-	got2, err := core.AutoSize(m2, base2)
+	got2, err := core.AutoSize(context.Background(), m2, base2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestExtMemSizeProbe(t *testing.T) {
 	// Linux/i586 is configured with 16MB; the probe must find ~16MB
 	// (to the nearest power-of-two page-count step).
 	m := simMachine(t, "Linux/i586")
-	entries, err := core.ExtMemSize(m, smallOpts())
+	entries, err := core.ExtMemSize(context.Background(), m, smallOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,11 +221,11 @@ func TestExtMemSizeProbe(t *testing.T) {
 
 func TestExtMemSizeLargerMachine(t *testing.T) {
 	// HP K210 has 128MB: the probe must see more than the i586 does.
-	small, err := core.ExtMemSize(simMachine(t, "Linux/i586"), smallOpts())
+	small, err := core.ExtMemSize(context.Background(), simMachine(t, "Linux/i586"), smallOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
-	big, err := core.ExtMemSize(simMachine(t, "HP K210"), smallOpts())
+	big, err := core.ExtMemSize(context.Background(), simMachine(t, "HP K210"), smallOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestExtPageFaultLatency(t *testing.T) {
 	// On the simulated i586 (16MB) the probe crosses into paging
 	// territory; the major-fault service time is disk-bound
 	// (milliseconds).
-	entries, err := core.ExtMemSize(simMachine(t, "Linux/i586"), smallOpts())
+	entries, err := core.ExtMemSize(context.Background(), simMachine(t, "Linux/i586"), smallOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

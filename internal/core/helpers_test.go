@@ -3,7 +3,9 @@ package core
 import (
 	"testing"
 
+	"repro/internal/ptime"
 	"repro/internal/results"
+	"repro/internal/timing"
 )
 
 func TestShortName(t *testing.T) {
@@ -41,8 +43,11 @@ func TestMemPlateauHelper(t *testing.T) {
 	}
 }
 
-func TestOptionsDefaults(t *testing.T) {
-	o := Options{}.withDefaults()
+func TestOptionsNormalize(t *testing.T) {
+	o, err := Options{}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if o.MemSize != 8<<20 || o.FileSize != 8<<20 || o.FSFiles != 1000 {
 		t.Errorf("defaults = %+v", o)
 	}
@@ -50,9 +55,32 @@ func TestOptionsDefaults(t *testing.T) {
 		t.Error("ctx defaults missing")
 	}
 	// Explicit values survive.
-	o = Options{MemSize: 123, FSFiles: 7}.withDefaults()
+	o, err = Options{MemSize: 123, FSFiles: 7}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if o.MemSize != 123 || o.FSFiles != 7 {
 		t.Errorf("explicit values clobbered: %+v", o)
+	}
+}
+
+func TestOptionsNormalizeRejectsNonsense(t *testing.T) {
+	bad := []Options{
+		{MemSize: -1},
+		{FileSize: -4096},
+		{PipeBytes: -1},
+		{TCPBytes: -1},
+		{MaxChaseSize: -8},
+		{FSFiles: -2},
+		{CtxProcs: []int{2, 0, 8}},
+		{CtxSizes: []int64{0, -4096}},
+		{Timing: timing.Options{Samples: -1}},
+		{Timing: timing.Options{MinSampleTime: -ptime.Millisecond}},
+	}
+	for i, o := range bad {
+		if _, err := o.Normalize(); err == nil {
+			t.Errorf("case %d (%+v): Normalize accepted nonsense", i, o)
+		}
 	}
 }
 

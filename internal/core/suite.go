@@ -1,10 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"io"
+	"sync"
+	"time"
 
 	"repro/internal/results"
+	"repro/internal/timing"
 )
 
 // Experiment ties one of the paper's tables or figures to the code
@@ -17,8 +21,10 @@ type Experiment struct {
 	// Benchmarks lists the result-database keys this experiment
 	// produces (prefix match for per-medium families).
 	Benchmarks []string
-	// Run executes the experiment on a machine.
-	Run func(m Machine, opts Options) ([]results.Entry, error)
+	// Run executes the experiment on a machine. The context carries
+	// the per-experiment deadline and cancellation; drivers check it
+	// between measurement batches so a cancelled run stops promptly.
+	Run func(ctx context.Context, m Machine, opts Options) ([]results.Entry, error)
 	// RunKey groups experiments that share one Run invocation (e.g.
 	// Figure 2 and Table 10 come from the same sweep). Empty means
 	// the experiment runs on its own.
@@ -131,29 +137,64 @@ func ExperimentByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
+// wallMu serializes experiments on machines whose clock reads real
+// time (the host backend). Two wall-clock experiments running at once
+// would perturb each other's measurements; virtual-clock machines are
+// immune and run without the lock.
+var wallMu sync.Mutex
+
 // Suite runs experiments on one machine and records results.
 type Suite struct {
 	M    Machine
 	Opts Options
-	// Log receives progress lines; nil discards them.
-	Log io.Writer
+	// Events receives the structured run events (started / finished /
+	// retried / skipped / failed); nil discards them. TextSink restores
+	// the old progress lines; JSONLSink writes a machine-readable
+	// trace.
+	Events EventSink
 	// Only restricts the run to these experiment IDs (nil = all).
 	Only map[string]bool
 	// Extended adds the §7 future-work experiments (STREAM, dirty/
 	// write latency, TLB, cache-to-cache).
 	Extended bool
+	// Experiments overrides the experiment list (nil = the registry,
+	// plus Extensions when Extended is set). Used by schedulers and
+	// tests that inject synthetic experiments.
+	Experiments []Experiment
+	// Timeout bounds each experiment attempt in wall time; 0 means no
+	// per-experiment deadline.
+	Timeout time.Duration
+	// Retries is how many extra attempts a failing experiment gets
+	// before its error aborts the run. Unsupported experiments are
+	// never retried; context cancellation is never retried.
+	Retries int
+	// RetryBackoff is the pause before the first retry, doubling each
+	// further attempt; default 100ms when Retries > 0.
+	RetryBackoff time.Duration
 }
 
 // Run executes the selected experiments and merges their entries into
 // db. Experiments a backend does not support (ErrUnsupported) are
 // skipped and reported in the returned skip list; duplicate Run
-// functions (Figure 2 / Table 10 share one) execute once.
-func (s *Suite) Run(db *results.DB) (skipped []string, err error) {
-	ran := map[string]bool{}
-	exps := Experiments()
-	if s.Extended {
-		exps = append(exps, Extensions()...)
+// functions (Figure 2 / Table 10 share one) execute once. A cancelled
+// or deadlined ctx stops the run at the next measurement boundary.
+func (s *Suite) Run(ctx context.Context, db *results.DB) (skipped []string, err error) {
+	if s.M == nil {
+		return nil, errors.New("core: suite needs a machine")
 	}
+	opts, err := s.Opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	sink := sinkOrDiscard(s.Events)
+	exps := s.Experiments
+	if exps == nil {
+		exps = Experiments()
+		if s.Extended {
+			exps = append(exps, Extensions()...)
+		}
+	}
+	ran := map[string]bool{}
 	for _, exp := range exps {
 		if s.Only != nil && !s.Only[exp.ID] {
 			continue
@@ -166,10 +207,10 @@ func (s *Suite) Run(db *results.DB) (skipped []string, err error) {
 			continue
 		}
 		ran[key] = true
-		if s.Log != nil {
-			fmt.Fprintf(s.Log, "running %-8s %s\n", exp.ID, exp.Title)
+		if err := ctx.Err(); err != nil {
+			return skipped, err
 		}
-		entries, runErr := exp.Run(s.M, s.Opts)
+		entries, runErr := s.runExperiment(ctx, sink, exp, opts)
 		if runErr != nil {
 			if IsUnsupported(runErr) {
 				skipped = append(skipped, exp.ID)
@@ -179,9 +220,86 @@ func (s *Suite) Run(db *results.DB) (skipped []string, err error) {
 		}
 		for _, e := range entries {
 			if err := db.Add(e); err != nil {
-				return skipped, err
+				// Entries already merged stay in db; the error names the
+				// experiment so a mid-run failure is attributable.
+				return skipped, fmt.Errorf("%s: add %q: %w", exp.ID, e.Benchmark, err)
 			}
 		}
 	}
 	return skipped, nil
+}
+
+// runExperiment drives one experiment through the attempt/retry loop,
+// emitting lifecycle events along the way.
+func (s *Suite) runExperiment(ctx context.Context, sink EventSink, exp Experiment, opts Options) ([]results.Entry, error) {
+	maxAttempts := 1 + s.Retries
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	backoff := s.RetryBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	ev := func(kind EventKind, attempt int, dur time.Duration, entries int, err error) {
+		e := Event{
+			Kind: kind, Time: time.Now(), Machine: s.M.Name(),
+			Experiment: exp.ID, Title: exp.Title,
+			Attempt: attempt, Duration: dur, Entries: entries,
+		}
+		if err != nil {
+			e.Err = err.Error()
+		}
+		sink.Event(e)
+	}
+	for attempt := 1; ; attempt++ {
+		ev(ExperimentStarted, attempt, 0, 0, nil)
+		start := time.Now()
+		entries, err := s.attempt(ctx, exp, opts)
+		dur := time.Since(start)
+		switch {
+		case err == nil:
+			ev(ExperimentFinished, attempt, dur, len(entries), nil)
+			return entries, nil
+		case IsUnsupported(err):
+			ev(ExperimentSkipped, attempt, dur, 0, err)
+			return nil, err
+		case ctx.Err() != nil || attempt >= maxAttempts:
+			ev(ExperimentFailed, attempt, dur, 0, err)
+			return nil, err
+		}
+		ev(ExperimentRetried, attempt, dur, 0, err)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+// attempt runs exp once under the per-experiment deadline, holding the
+// wall-clock mutex when the machine measures real time and binding the
+// context into the backend's blocking primitives when it can accept
+// one.
+func (s *Suite) attempt(ctx context.Context, exp Experiment, opts Options) ([]results.Entry, error) {
+	if timing.IsRealTime(s.M.Clock()) {
+		wallMu.Lock()
+		defer wallMu.Unlock()
+	}
+	// Always derive a per-attempt context: backends that bind it may
+	// start a cancellation watchdog, and cancelling here guarantees the
+	// watchdog ends with the attempt.
+	var cancel context.CancelFunc
+	var runCtx context.Context
+	if s.Timeout > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, s.Timeout)
+	} else {
+		runCtx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	if cb, ok := s.M.(ContextBinder); ok {
+		cb.BindContext(runCtx)
+		defer cb.BindContext(context.Background())
+	}
+	return exp.Run(runCtx, s.M, opts)
 }

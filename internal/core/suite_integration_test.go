@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -48,7 +49,7 @@ func TestSuiteRunsEverythingOnSim(t *testing.T) {
 	m := simMachine(t, "Linux/i686")
 	db := &results.DB{}
 	s := &core.Suite{M: m, Opts: smallOpts()}
-	skipped, err := s.Run(db)
+	skipped, err := s.Run(context.Background(), db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestSuiteValuesMatchCalibration(t *testing.T) {
 		M: m, Opts: smallOpts(),
 		Only: map[string]bool{"table7": true, "table12": true, "table15": true, "table9": true},
 	}
-	if _, err := s.Run(db); err != nil {
+	if _, err := s.Run(context.Background(), db); err != nil {
 		t.Fatal(err)
 	}
 	check := func(bench string, want, slack float64) {
@@ -113,7 +114,7 @@ func TestFigure1SweepShape(t *testing.T) {
 	m := simMachine(t, "DEC Alpha@300")
 	opts := smallOpts()
 	opts.MaxChaseSize = 8 << 20 // must exceed the 4M board cache
-	entries, err := core.MemLatencySweep(m, opts)
+	entries, err := core.MemLatencySweep(context.Background(), m, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestTable6ExtractionOnAlpha(t *testing.T) {
 	m := simMachine(t, "DEC Alpha@300")
 	opts := smallOpts()
 	opts.MaxChaseSize = 8 << 20
-	entries, err := core.CacheParams(m, opts)
+	entries, err := core.CacheParams(context.Background(), m, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestFigure2Knee(t *testing.T) {
 	opts := smallOpts()
 	opts.CtxProcs = []int{2, 16}
 	opts.CtxSizes = []int64{32 << 10}
-	entries, err := core.CtxSweep(m, opts)
+	entries, err := core.CtxSweep(context.Background(), m, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestSuiteOnlyFilter(t *testing.T) {
 	m := simMachine(t, "Linux/i686")
 	db := &results.DB{}
 	s := &core.Suite{M: m, Opts: smallOpts(), Only: map[string]bool{"table7": true}}
-	if _, err := s.Run(db); err != nil {
+	if _, err := s.Run(context.Background(), db); err != nil {
 		t.Fatal(err)
 	}
 	if db.Len() != 1 {
@@ -228,7 +229,7 @@ func TestSuiteOnlyFilter(t *testing.T) {
 func TestRemoteExperimentsPerMedium(t *testing.T) {
 	m := simMachine(t, "SGI Challenge") // hippi
 	opts := smallOpts()
-	entries, err := core.BWRemoteTCP(m, opts)
+	entries, err := core.BWRemoteTCP(context.Background(), m, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestRemoteExperimentsPerMedium(t *testing.T) {
 	if v := entries[0].Scalar; v < 20 || v > 100 {
 		t.Errorf("hippi bandwidth = %.1f MB/s, want 20-100", v)
 	}
-	lat, err := core.LatRemote(m, opts)
+	lat, err := core.LatRemote(context.Background(), m, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package host
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -138,7 +139,7 @@ func TestHostExtendedSuite(t *testing.T) {
 		Only: map[string]bool{"ext_stream": true, "ext_tlb": true},
 	}
 	resDB := &results.DB{}
-	skipped, err := s.Run(resDB)
+	skipped, err := s.Run(context.Background(), resDB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestHostPhysicalMemory(t *testing.T) {
 		t.Errorf("MemTotal = %d, want >= 64MB on any host", bytes)
 	}
 	// And through the experiment.
-	entries, err := core.ExtMemSize(m, fastOpts())
+	entries, err := core.ExtMemSize(context.Background(), m, fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

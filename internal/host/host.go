@@ -14,6 +14,7 @@
 package host
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -85,6 +86,19 @@ func (m *Machine) Close() error {
 	}
 	return first
 }
+
+// BindContext implements core.ContextBinder: the context's deadline
+// and cancellation propagate into the backend's blocking primitives —
+// pipe and socket I/O wakes via deadlines, child processes are spawned
+// under the context, and signal waits select on it. The suite
+// scheduler binds the per-experiment context before each attempt and
+// clears it (context.Background) afterwards.
+func (m *Machine) BindContext(ctx context.Context) {
+	m.net.bindContext(ctx)
+	m.os.bindContext(ctx)
+}
+
+var _ core.ContextBinder = (*Machine)(nil)
 
 // Name implements core.Machine.
 func (m *Machine) Name() string { return m.name }

@@ -1,6 +1,7 @@
 package host
 
 import (
+	"context"
 	"os"
 	"testing"
 
@@ -296,7 +297,7 @@ func TestHostSuiteSubset(t *testing.T) {
 			"table15": true, "table16": true,
 		},
 	}
-	skipped, err := s.Run(db)
+	skipped, err := s.Run(context.Background(), db)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,12 +1,14 @@
 package host
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/rpcx"
@@ -50,6 +52,105 @@ type netOps struct {
 	wordBuf [4]byte
 
 	closers []io.Closer
+
+	// ctx is the context bound to the current experiment (nil means
+	// unbound); deadline mirrors its deadline and is applied to every
+	// live connection and pipe so blocked I/O wakes when the run is
+	// deadlined. bindGen invalidates the watchdog of a superseded
+	// binding.
+	ctx      context.Context
+	deadline time.Time
+	bindGen  uint64
+}
+
+// deadliner unifies net.Conn, *os.File and *rpcx.Client deadline
+// control.
+type deadliner interface {
+	SetDeadline(t time.Time) error
+}
+
+// liveDeadliners returns every deadline-capable object currently open.
+// Callers hold no.mu.
+func (no *netOps) liveDeadliners() []deadliner {
+	var out []deadliner
+	add := func(d deadliner) {
+		out = append(out, d)
+	}
+	for _, f := range []*os.File{no.bwPipeW, no.latPipeAW, no.latPipeBR} {
+		if f != nil {
+			add(f)
+		}
+	}
+	for _, c := range []net.Conn{no.sinkC, no.echoC, no.udpC} {
+		if c != nil {
+			add(c)
+		}
+	}
+	for _, c := range []*rpcx.Client{no.rpcTCP, no.rpcUDP} {
+		if c != nil {
+			add(c)
+		}
+	}
+	return out
+}
+
+// applyDeadlineLocked pushes t (zero clears) onto all live objects.
+func (no *netOps) applyDeadlineLocked(t time.Time) {
+	for _, d := range no.liveDeadliners() {
+		_ = d.SetDeadline(t)
+	}
+}
+
+// bindContext attaches ctx to all blocking network primitives: its
+// deadline is applied to every live connection and pipe, cancellation
+// wakes blocked I/O by forcing an immediate deadline, and subsequently
+// created connections inherit the deadline. Binding
+// context.Background() clears the previous binding.
+func (no *netOps) bindContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	no.mu.Lock()
+	no.ctx = ctx
+	no.bindGen++
+	gen := no.bindGen
+	dl, _ := ctx.Deadline() // zero time clears any previous deadline
+	no.deadline = dl
+	no.applyDeadlineLocked(dl)
+	no.mu.Unlock()
+	if ctx.Done() != nil {
+		go func() {
+			<-ctx.Done()
+			no.mu.Lock()
+			if no.bindGen == gen {
+				// Wake everything blocked under this binding.
+				no.applyDeadlineLocked(time.Now())
+			}
+			no.mu.Unlock()
+		}()
+	}
+}
+
+// ctxErrLocked reports the bound context's error, if any. Callers hold
+// no.mu; the check is one atomic load, cheap enough for measured ops.
+func (no *netOps) ctxErrLocked() error {
+	if no.ctx == nil {
+		return nil
+	}
+	return no.ctx.Err()
+}
+
+// prepare runs an ensure function under the lock, then checks the
+// bound context. Ensure functions apply the current deadline to what
+// they create, so the hot path adds only one atomic context check —
+// no per-operation deadline syscalls that would perturb measurements.
+func (no *netOps) prepare(ensure func() error) error {
+	no.mu.Lock()
+	defer no.mu.Unlock()
+	if err := ensure(); err != nil {
+		return err
+	}
+	return no.ctxErrLocked()
 }
 
 var _ core.NetOps = (*netOps)(nil)
@@ -82,6 +183,9 @@ func (no *netOps) ensureBWPipe() error {
 	no.bwPipeR, no.bwPipeW = r, w
 	no.track(r)
 	no.track(w)
+	if !no.deadline.IsZero() {
+		_ = w.SetDeadline(no.deadline)
+	}
 	go func() {
 		buf := make([]byte, 64<<10)
 		for {
@@ -99,10 +203,7 @@ func (no *netOps) PipeTransfer(n int64) error {
 	if n <= 0 {
 		return fmt.Errorf("host: pipe transfer needs positive size")
 	}
-	no.mu.Lock()
-	err := no.ensureBWPipe()
-	no.mu.Unlock()
-	if err != nil {
+	if err := no.prepare(no.ensureBWPipe); err != nil {
 		return err
 	}
 	chunk := no.buf[:64<<10]
@@ -138,6 +239,10 @@ func (no *netOps) ensureLatPipes() error {
 	no.track(aw)
 	no.track(br)
 	no.track(bw)
+	if !no.deadline.IsZero() {
+		_ = aw.SetDeadline(no.deadline)
+		_ = br.SetDeadline(no.deadline)
+	}
 	go func() {
 		var b [1]byte
 		for {
@@ -154,17 +259,14 @@ func (no *netOps) ensureLatPipes() error {
 
 // PipeRoundTrip is Table 11: a word to the peer and back.
 func (no *netOps) PipeRoundTrip() error {
-	no.mu.Lock()
-	err := no.ensureLatPipes()
-	no.mu.Unlock()
-	if err != nil {
+	if err := no.prepare(no.ensureLatPipes); err != nil {
 		return err
 	}
 	var b [1]byte
 	if _, err := no.latPipeAW.Write(b[:]); err != nil {
 		return err
 	}
-	_, err = no.latPipeBR.Read(b[:])
+	_, err := no.latPipeBR.Read(b[:])
 	return err
 }
 
@@ -210,6 +312,9 @@ func (no *netOps) ensureSink() error {
 	}
 	no.sinkC = c
 	no.track(c)
+	if !no.deadline.IsZero() {
+		_ = c.SetDeadline(no.deadline)
+	}
 	return nil
 }
 
@@ -218,10 +323,7 @@ func (no *netOps) TCPTransfer(n int64) error {
 	if n <= 0 {
 		return fmt.Errorf("host: tcp transfer needs positive size")
 	}
-	no.mu.Lock()
-	err := no.ensureSink()
-	no.mu.Unlock()
-	if err != nil {
+	if err := no.prepare(no.ensureSink); err != nil {
 		return err
 	}
 	var hdr [8]byte
@@ -238,7 +340,7 @@ func (no *netOps) TCPTransfer(n int64) error {
 			return err
 		}
 	}
-	_, err = io.ReadFull(no.sinkC, no.ackBuf[:])
+	_, err := io.ReadFull(no.sinkC, no.ackBuf[:])
 	return err
 }
 
@@ -281,21 +383,21 @@ func (no *netOps) ensureEcho() error {
 	}
 	no.echoC = c
 	no.track(c)
+	if !no.deadline.IsZero() {
+		_ = c.SetDeadline(no.deadline)
+	}
 	return nil
 }
 
 // TCPRoundTrip is Table 12: exchange a word over loopback TCP.
 func (no *netOps) TCPRoundTrip() error {
-	no.mu.Lock()
-	err := no.ensureEcho()
-	no.mu.Unlock()
-	if err != nil {
+	if err := no.prepare(no.ensureEcho); err != nil {
 		return err
 	}
 	if _, err := no.echoC.Write(no.wordBuf[:]); err != nil {
 		return err
 	}
-	_, err = io.ReadFull(no.echoC, no.wordBuf[:])
+	_, err := io.ReadFull(no.echoC, no.wordBuf[:])
 	return err
 }
 
@@ -327,21 +429,21 @@ func (no *netOps) ensureUDP() error {
 	}
 	no.udpC = c
 	no.track(c)
+	if !no.deadline.IsZero() {
+		_ = c.SetDeadline(no.deadline)
+	}
 	return nil
 }
 
 // UDPRoundTrip is Table 13: exchange a word over loopback UDP.
 func (no *netOps) UDPRoundTrip() error {
-	no.mu.Lock()
-	err := no.ensureUDP()
-	no.mu.Unlock()
-	if err != nil {
+	if err := no.prepare(no.ensureUDP); err != nil {
 		return err
 	}
 	if _, err := no.udpC.Write(no.wordBuf[:]); err != nil {
 		return err
 	}
-	_, err = no.udpC.Read(no.wordBuf[:])
+	_, err := no.udpC.Read(no.wordBuf[:])
 	return err
 }
 
@@ -379,31 +481,29 @@ func (no *netOps) ensureRPC() error {
 	no.rpcTCP, no.rpcUDP = ct, cu
 	no.track(ct)
 	no.track(cu)
+	if !no.deadline.IsZero() {
+		_ = ct.SetDeadline(no.deadline)
+		_ = cu.SetDeadline(no.deadline)
+	}
 	return nil
 }
 
 // RPCTCPRoundTrip layers the word exchange through the RPC machinery
 // (XDR framing, record marking), the paper's RPC/TCP row.
 func (no *netOps) RPCTCPRoundTrip() error {
-	no.mu.Lock()
-	err := no.ensureRPC()
-	no.mu.Unlock()
-	if err != nil {
+	if err := no.prepare(no.ensureRPC); err != nil {
 		return err
 	}
-	_, err = no.rpcTCP.Call(procEcho, no.wordBuf[:])
+	_, err := no.rpcTCP.Call(procEcho, no.wordBuf[:])
 	return err
 }
 
 // RPCUDPRoundTrip is the RPC/UDP row.
 func (no *netOps) RPCUDPRoundTrip() error {
-	no.mu.Lock()
-	err := no.ensureRPC()
-	no.mu.Unlock()
-	if err != nil {
+	if err := no.prepare(no.ensureRPC); err != nil {
 		return err
 	}
-	_, err = no.rpcUDP.Call(procEcho, no.wordBuf[:])
+	_, err := no.rpcUDP.Call(procEcho, no.wordBuf[:])
 	return err
 }
 
@@ -432,13 +532,17 @@ func (no *netOps) ensureConnectTarget() error {
 // TCPConnect is Table 15: connect and close ("The socket is closed
 // after each connect").
 func (no *netOps) TCPConnect() error {
-	no.mu.Lock()
-	err := no.ensureConnectTarget()
-	no.mu.Unlock()
-	if err != nil {
+	if err := no.prepare(no.ensureConnectTarget); err != nil {
 		return err
 	}
-	c, err := net.Dial("tcp", no.connLn.Addr().String())
+	no.mu.Lock()
+	ctx := no.ctx
+	no.mu.Unlock()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", no.connLn.Addr().String())
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package host
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"os/exec"
@@ -8,6 +9,7 @@ import (
 	"runtime"
 	"sync"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 )
@@ -22,6 +24,32 @@ type osOps struct {
 
 	// peer is the pinned cache-to-cache thread (ext.go).
 	peer *smpPeer
+
+	// ctxMu guards ctx, the context bound to the current experiment.
+	ctxMu sync.Mutex
+	ctx   context.Context
+}
+
+// bindContext attaches ctx to the blocking OS primitives: child
+// processes are spawned under it (CommandContext kills them on
+// cancellation), signal waits select on it, and new rings inherit it.
+func (o *osOps) bindContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o.ctxMu.Lock()
+	o.ctx = ctx
+	o.ctxMu.Unlock()
+}
+
+// runCtx returns the currently bound context.
+func (o *osOps) runCtx() context.Context {
+	o.ctxMu.Lock()
+	defer o.ctxMu.Unlock()
+	if o.ctx == nil {
+		return context.Background()
+	}
+	return o.ctx
 }
 
 var _ core.OSOps = (*osOps)(nil)
@@ -72,15 +100,26 @@ func (o *osOps) SignalCatch() error {
 	if err := syscall.Kill(os.Getpid(), syscall.SIGUSR1); err != nil {
 		return err
 	}
-	<-o.sigCh
-	return nil
+	// The common case is immediate delivery; selecting on the bound
+	// context keeps a lost signal from hanging a cancelled run.
+	ctx := o.runCtx()
+	if ctx.Done() == nil {
+		<-o.sigCh
+		return nil
+	}
+	select {
+	case <-o.sigCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // ForkExit spawns a copy of the current binary that exits immediately
 // (the closest a Go program gets to fork-and-exit; the child's
 // MaybeChild call makes it quit before doing anything).
 func (o *osOps) ForkExit() error {
-	cmd := exec.Command(o.selfExe)
+	cmd := exec.CommandContext(o.runCtx(), o.selfExe)
 	cmd.Env = append(os.Environ(), ChildEnv+"=1")
 	return cmd.Run()
 }
@@ -88,13 +127,13 @@ func (o *osOps) ForkExit() error {
 // ForkExecExit spawns a tiny different program, the paper's
 // "hello world" rung.
 func (o *osOps) ForkExecExit() error {
-	return exec.Command("/bin/true").Run()
+	return exec.CommandContext(o.runCtx(), "/bin/true").Run()
 }
 
 // ForkShExit runs the tiny program via the shell, the paper's
 // "fork, exec sh -c" rung.
 func (o *osOps) ForkShExit() error {
-	return exec.Command("/bin/sh", "-c", "true").Run()
+	return exec.CommandContext(o.runCtx(), "/bin/sh", "-c", "true").Run()
 }
 
 // hostRing is the context-switch ring: the calling goroutine is
@@ -112,6 +151,12 @@ type hostRing struct {
 	files []*os.File
 	foot  []uint64 // coordinator's footprint
 	done  sync.WaitGroup
+
+	// ctx is the context bound when the ring was built; stop ends its
+	// cancellation watchdog when the ring closes first.
+	ctx      context.Context
+	stop     chan struct{}
+	stopOnce sync.Once
 }
 
 func (o *osOps) NewRing(nprocs int, footprint int64) (core.Ring, error) {
@@ -121,7 +166,7 @@ func (o *osOps) NewRing(nprocs int, footprint int64) (core.Ring, error) {
 	if footprint < 0 {
 		return nil, fmt.Errorf("host: negative footprint")
 	}
-	r := &hostRing{procs: nprocs}
+	r := &hostRing{procs: nprocs, ctx: o.runCtx(), stop: make(chan struct{})}
 	words := footprint / 8
 	if words > 0 {
 		r.foot = make([]uint64, words)
@@ -174,11 +219,29 @@ func (o *osOps) NewRing(nprocs int, footprint int64) (core.Ring, error) {
 			}
 		}()
 	}
+	if dl, ok := r.ctx.Deadline(); ok {
+		_ = r.inject.SetDeadline(dl)
+		_ = r.collect.SetDeadline(dl)
+	}
+	if r.ctx.Done() != nil {
+		// Wake a blocked Pass when the experiment is cancelled.
+		go func() {
+			select {
+			case <-r.ctx.Done():
+				_ = r.inject.SetDeadline(time.Now())
+				_ = r.collect.SetDeadline(time.Now())
+			case <-r.stop:
+			}
+		}()
+	}
 	return r, nil
 }
 
 // Pass circulates the token once around the ring.
 func (r *hostRing) Pass() error {
+	if err := r.ctx.Err(); err != nil {
+		return err
+	}
 	var buf [1]byte
 	if _, err := r.inject.Write(buf[:]); err != nil {
 		return err
@@ -198,6 +261,7 @@ func (r *hostRing) Procs() int { return r.procs }
 
 // Close tears the ring down; workers exit on pipe EOF.
 func (r *hostRing) Close() error {
+	r.stopOnce.Do(func() { close(r.stop) })
 	for _, f := range r.files {
 		_ = f.Close()
 	}

@@ -1,6 +1,7 @@
 package machines_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/compare"
@@ -45,7 +46,7 @@ func TestShapeAgreementWithPaper(t *testing.T) {
 			t.Fatal(err)
 		}
 		s := &core.Suite{M: m, Opts: opts, Only: only}
-		if _, err := s.Run(db); err != nil {
+		if _, err := s.Run(context.Background(), db); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 	}

@@ -45,6 +45,11 @@ func DialUDP(addr string, prog, vers uint32) (*Client, error) {
 // Close releases the transport.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// SetDeadline bounds all transport I/O, including a call already in
+// flight; the zero time clears it. It is safe to call concurrently
+// with Call.
+func (c *Client) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
+
 // Call invokes proc with raw XDR args and returns the raw XDR results.
 func (c *Client) Call(proc uint32, args []byte) ([]byte, error) {
 	c.mu.Lock()

@@ -25,6 +25,7 @@
 package timing
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -49,6 +50,25 @@ func NewWallClock() *WallClock { return &WallClock{epoch: time.Now()} }
 // Now returns time elapsed since the clock was created.
 func (w *WallClock) Now() ptime.Duration { return ptime.FromStd(time.Since(w.epoch)) }
 
+// RealTime marks the wall clock as reading real time; see IsRealTime.
+func (w *WallClock) RealTime() bool { return true }
+
+// RealTimer is an optional Clock capability: clocks whose readings come
+// from the real machine rather than a simulation report RealTime true.
+// The suite scheduler serializes experiments on real-time clocks so
+// concurrent work never perturbs a wall-clock measurement.
+type RealTimer interface {
+	RealTime() bool
+}
+
+// IsRealTime reports whether c measures real wall time. Virtual
+// (simulated) clocks do not implement RealTimer and are never
+// real-time.
+func IsRealTime(c Clock) bool {
+	rt, ok := c.(RealTimer)
+	return ok && rt.RealTime()
+}
+
 // QuantizedClock wraps a Clock and truncates readings to Step, emulating
 // the coarse 10ms gettimeofday of some 1995 systems. It exists so the
 // harness's resolution compensation can be exercised deterministically.
@@ -65,6 +85,10 @@ func (q *QuantizedClock) Now() ptime.Duration {
 	}
 	return t - t%q.Step
 }
+
+// RealTime forwards to the base clock: quantization does not change
+// whether readings come from real time.
+func (q *QuantizedClock) RealTime() bool { return IsRealTime(q.Base) }
 
 // EstimateResolution measures the clock's effective resolution: the
 // smallest positive difference observed between consecutive readings.
@@ -129,20 +153,36 @@ type Options struct {
 	Resolution ptime.Duration
 }
 
-func (o Options) withDefaults() Options {
-	if o.MinSampleTime <= 0 {
+// Normalize validates o and fills in defaults for unset (zero) fields.
+// Zero values mean "use the default"; negative values are nonsensical
+// and rejected, so a caller cannot silently run with a misconfigured
+// harness.
+func (o Options) Normalize() (Options, error) {
+	switch {
+	case o.MinSampleTime < 0:
+		return o, fmt.Errorf("timing: negative MinSampleTime %v", o.MinSampleTime)
+	case o.Samples < 0:
+		return o, fmt.Errorf("timing: negative Samples %d", o.Samples)
+	case o.MaxN < 0:
+		return o, fmt.Errorf("timing: negative MaxN %d", o.MaxN)
+	case o.ResolutionMultiple < 0:
+		return o, fmt.Errorf("timing: negative ResolutionMultiple %d", o.ResolutionMultiple)
+	case o.Resolution < 0:
+		return o, fmt.Errorf("timing: negative Resolution %v", o.Resolution)
+	}
+	if o.MinSampleTime == 0 {
 		o.MinSampleTime = 5 * ptime.Millisecond
 	}
-	if o.Samples <= 0 {
+	if o.Samples == 0 {
 		o.Samples = 7
 	}
-	if o.MaxN <= 0 {
+	if o.MaxN == 0 {
 		o.MaxN = 1 << 32
 	}
-	if o.ResolutionMultiple <= 0 {
+	if o.ResolutionMultiple == 0 {
 		o.ResolutionMultiple = 100
 	}
-	return o
+	return o, nil
 }
 
 // ErrClockStuck reports that the operation could not be scaled to span a
@@ -176,7 +216,18 @@ func (m Measurement) String() string {
 // auto-scales n so a batch spans both MinSampleTime and enough clock
 // quanta, then takes Options.Samples timed batches.
 func BenchLoop(c Clock, opts Options, op func(n int64) error) (Measurement, error) {
-	opts = opts.withDefaults()
+	return BenchLoopCtx(context.Background(), c, opts, op)
+}
+
+// BenchLoopCtx is BenchLoop with cancellation: the context is checked
+// between calibration steps and between timed batches, so a cancelled
+// or deadlined run stops at the next batch boundary rather than
+// completing the full sample schedule.
+func BenchLoopCtx(ctx context.Context, c Clock, opts Options, op func(n int64) error) (Measurement, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return Measurement{}, err
+	}
 	res := opts.Resolution
 	if res <= 0 {
 		res = EstimateResolution(c)
@@ -189,6 +240,9 @@ func BenchLoop(c Clock, opts Options, op func(n int64) error) (Measurement, erro
 	// Calibrate the batch size.
 	n := int64(1)
 	for {
+		if err := ctx.Err(); err != nil {
+			return Measurement{}, err
+		}
 		elapsed, err := timeBatch(c, op, n)
 		if err != nil {
 			return Measurement{}, err
@@ -222,6 +276,9 @@ func BenchLoop(c Clock, opts Options, op func(n int64) error) (Measurement, erro
 	samples := make([]ptime.Duration, 0, opts.Samples)
 	best := ptime.Duration(0)
 	for i := 0; i < opts.Samples; i++ {
+		if err := ctx.Err(); err != nil {
+			return Measurement{}, err
+		}
 		elapsed, err := timeBatch(c, op, n)
 		if err != nil {
 			return Measurement{}, err

@@ -21,7 +21,7 @@
 //	m, _ := lmbench.NewHostMachine()
 //	defer m.Close()
 //	db := &lmbench.DB{}
-//	skipped, err := lmbench.Run(m, lmbench.Options{}, db)
+//	skipped, err := lmbench.Run(context.Background(), m, lmbench.Options{}, db)
 //	_ = lmbench.RenderReport(os.Stdout, db)
 //
 // Binaries that run the process-creation benchmarks must call
@@ -30,6 +30,7 @@
 package lmbench
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
@@ -52,6 +53,21 @@ type Experiment = core.Experiment
 
 // DB is the mergeable, serializable results database.
 type DB = results.DB
+
+// Suite runs experiments on one machine with per-experiment timeout,
+// retries and a structured event stream; see Run for the common case.
+type Suite = core.Suite
+
+// Runner schedules suite runs across several machines with a worker
+// pool; simulated machines run concurrently, wall-clock machines are
+// serialized so measurements stay unperturbed.
+type Runner = core.Runner
+
+// Event is one structured record of the run event stream.
+type Event = core.Event
+
+// EventSink receives run events; see NewTextSink and NewJSONLSink.
+type EventSink = core.EventSink
 
 // Entry is one benchmark result (scalar or series).
 type Entry = results.Entry
@@ -93,17 +109,19 @@ func Experiments() []Experiment { return core.Experiments() }
 
 // Run executes all experiments (or those selected in only) on m and
 // merges the entries into db, returning the IDs the backend skipped.
-func Run(m Machine, opts Options, db *DB, only ...string) ([]string, error) {
-	return run(m, opts, db, false, only)
+// The context cancels or deadlines the run between measurement
+// batches; use context.Background() for an unbounded run.
+func Run(ctx context.Context, m Machine, opts Options, db *DB, only ...string) ([]string, error) {
+	return run(ctx, m, opts, db, false, only)
 }
 
 // RunExtended is Run plus the §7 future-work experiments (STREAM,
 // dirty/write latency, TLB, cache-to-cache); see Extensions.
-func RunExtended(m Machine, opts Options, db *DB, only ...string) ([]string, error) {
-	return run(m, opts, db, true, only)
+func RunExtended(ctx context.Context, m Machine, opts Options, db *DB, only ...string) ([]string, error) {
+	return run(ctx, m, opts, db, true, only)
 }
 
-func run(m Machine, opts Options, db *DB, extended bool, only []string) ([]string, error) {
+func run(ctx context.Context, m Machine, opts Options, db *DB, extended bool, only []string) ([]string, error) {
 	s := &core.Suite{M: m, Opts: opts, Extended: extended}
 	if len(only) > 0 {
 		s.Only = map[string]bool{}
@@ -111,8 +129,15 @@ func run(m Machine, opts Options, db *DB, extended bool, only []string) ([]strin
 			s.Only[id] = true
 		}
 	}
-	return s.Run(db)
+	return s.Run(ctx, db)
 }
+
+// NewTextSink renders run events as human-readable progress lines.
+func NewTextSink(w io.Writer) EventSink { return core.NewTextSink(w) }
+
+// NewJSONLSink writes run events as JSON lines, one object per
+// lifecycle transition.
+func NewJSONLSink(w io.Writer) EventSink { return core.NewJSONLSink(w) }
 
 // Extensions returns the §7 future-work experiments run by
 // RunExtended.
@@ -121,7 +146,9 @@ func Extensions() []Experiment { return core.Extensions() }
 // AutoSize probes m's memory hierarchy and grows base's region sizes
 // so the outermost cache cannot satisfy the "memory" benchmarks (§7
 // "Automatic sizing").
-func AutoSize(m Machine, base Options) (Options, error) { return core.AutoSize(m, base) }
+func AutoSize(ctx context.Context, m Machine, base Options) (Options, error) {
+	return core.AutoSize(ctx, m, base)
+}
 
 // RenderReport writes every populated table and figure in the paper's
 // presentation format.

@@ -2,6 +2,7 @@ package lmbench
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -24,7 +25,7 @@ func TestFacadeSimRun(t *testing.T) {
 		Timing:  timing.Options{MinSampleTime: 100 * ptime.Microsecond, Samples: 2},
 		FSFiles: 50,
 	}
-	skipped, err := Run(m, opts, db, "table7", "table16")
+	skipped, err := Run(context.Background(), m, opts, db, "table7", "table16")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestFacadeExtendedAndAutoSize(t *testing.T) {
 		Timing:  timing.Options{MinSampleTime: 100 * ptime.Microsecond, Samples: 2},
 		MemSize: 1 << 20,
 	}
-	skipped, err := RunExtended(m, opts, db, "ext_stream")
+	skipped, err := RunExtended(context.Background(), m, opts, db, "ext_stream")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestFacadeExtendedAndAutoSize(t *testing.T) {
 		t.Errorf("Extensions = %d", len(Extensions()))
 	}
 
-	sized, err := AutoSize(m, Options{MaxChaseSize: 4 << 20})
+	sized, err := AutoSize(context.Background(), m, Options{MaxChaseSize: 4 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
