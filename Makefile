@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build vet test race verify
+# Seed for `make chaos`; override to explore other fault streams:
+#   make chaos LMBENCH_CHAOS_SEED=99
+LMBENCH_CHAOS_SEED ?= 1
+
+.PHONY: all build vet test race chaos verify
 
 all: verify
 
@@ -13,10 +17,16 @@ vet:
 test:
 	$(GO) test ./...
 
-# The scheduler and timing harness are the concurrency-sensitive
-# packages; run them under the race detector.
+# The scheduler, timing harness, and fault-injection wrapper are the
+# concurrency-sensitive packages; run them (including the journal,
+# resume, and chaos suites) under the race detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/timing/...
+	$(GO) test -race ./internal/core/... ./internal/timing/... ./internal/faults/...
+
+# chaos runs the fault-injection scheduler suite on its own, race-
+# enabled and verbose, with a fixed seed for reproducible streams.
+chaos:
+	LMBENCH_CHAOS_SEED=$(LMBENCH_CHAOS_SEED) $(GO) test -race -v -run 'TestChaos' ./internal/faults/
 
 # verify is the tier-1 gate: everything must build, vet clean, pass
 # tests, and the concurrent scheduler must be race-clean.

@@ -13,17 +13,23 @@
 //	lmbench -trace run.jsonl         # structured JSON-lines event trace
 //	lmbench -out results.db          # save the database
 //	lmbench -merge old.db ...        # preload databases before running
+//	lmbench -journal run.jnl         # crash-safe journal of completed work
+//	lmbench -resume run.jnl          # replay a journal, run the remainder
+//	lmbench -chaos 'err=0.3,seed=1'  # inject faults (testing the harness)
+//	lmbench -max-rsd 0.05            # re-measure experiments noisier than 5%
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/host"
 	"repro/internal/machines"
 	"repro/internal/paper"
@@ -54,6 +60,11 @@ func run() error {
 		traceFlag   = flag.String("trace", "", "write a JSON-lines event trace to this file")
 		timeoutFlag = flag.Duration("timeout", 0, "per-experiment attempt deadline (0 = none)")
 		retryFlag   = flag.Int("retries", 0, "extra attempts for a failing experiment")
+		journalFlag = flag.String("journal", "", "append completed experiments to this crash-safe journal")
+		resumeFlag  = flag.String("resume", "", "replay completed work from this journal, run the rest, keep journaling")
+		chaosFlag   = flag.String("chaos", "", "fault-injection plan, e.g. 'seed=1,err=0.3,stall=0.05' (see internal/faults)")
+		rsdFlag     = flag.Float64("max-rsd", 0, "re-measure experiments whose relative sample spread exceeds this (0 = off)")
+		qretryFlag  = flag.Int("quality-retries", 0, "re-measurements for a noisy experiment (default 2 when -max-rsd is set)")
 	)
 	var merges multiFlag
 	flag.Var(&merges, "merge", "preload a results database (repeatable)")
@@ -140,6 +151,23 @@ func run() error {
 		targets = append(targets, m)
 	}
 
+	var chaotic []*faults.Machine
+	if *chaosFlag != "" {
+		plan, err := faults.ParsePlan(*chaosFlag)
+		if err != nil {
+			return err
+		}
+		for i, m := range targets {
+			// Distinct per-machine seeds keep parallel runs deterministic
+			// while machines see independent fault streams.
+			p := plan
+			p.Seed += int64(i)
+			f := faults.Wrap(m, p)
+			chaotic = append(chaotic, f)
+			targets[i] = f
+		}
+	}
+
 	opts := core.Options{}
 	if *fastFlag {
 		opts = core.Options{
@@ -177,19 +205,33 @@ func run() error {
 		sink = sinks
 	}
 
+	journal, replay, err := openJournal(*journalFlag, *resumeFlag)
+	if err != nil {
+		return err
+	}
+
 	runner := &core.Runner{
-		Machines: targets,
-		Opts:     opts,
-		Parallel: *parFlag,
-		Events:   sink,
-		Only:     only,
-		Extended: *extFlag,
-		Timeout:  *timeoutFlag,
-		Retries:  *retryFlag,
+		Machines:       targets,
+		Opts:           opts,
+		Parallel:       *parFlag,
+		Events:         sink,
+		Only:           only,
+		Extended:       *extFlag,
+		Timeout:        *timeoutFlag,
+		Retries:        *retryFlag,
+		MaxRSD:         *rsdFlag,
+		QualityRetries: *qretryFlag,
+		Journal:        journal,
+		Resume:         replay,
 	}
 	skipped, err := runner.Run(ctx, db)
 	if err != nil {
 		return err
+	}
+	if len(chaotic) > 0 && !*quietFlag {
+		for _, f := range chaotic {
+			fmt.Fprintf(os.Stderr, "%s: chaos: %s\n", f.Name(), f.Stats())
+		}
 	}
 	if !*quietFlag {
 		for _, m := range targets {
@@ -224,6 +266,53 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// openJournal wires up -journal / -resume. -journal starts a fresh
+// journal file; -resume parses an existing one, truncates any torn
+// final line, and keeps appending to it, so a resumed run that crashes
+// again is itself resumable. The file is left open for the process
+// lifetime — each record is synced as it is written.
+func openJournal(journalPath, resumePath string) (*core.JournalWriter, *core.JournalReplay, error) {
+	switch {
+	case journalPath != "" && resumePath != "":
+		return nil, nil, fmt.Errorf("-journal and -resume are mutually exclusive (resume keeps journaling to the same file)")
+	case journalPath != "":
+		f, err := os.Create(journalPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		jw, err := core.NewJournalWriter(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		return jw, nil, nil
+	case resumePath != "":
+		f, err := os.OpenFile(resumePath, os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		replay, err := core.ReadJournal(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", resumePath, err)
+		}
+		if err := f.Truncate(replay.ValidBytes); err != nil {
+			return nil, nil, err
+		}
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			return nil, nil, err
+		}
+		if replay.ValidBytes == 0 {
+			// Empty (or brand-new) file: start a proper journal.
+			jw, err := core.NewJournalWriter(f)
+			if err != nil {
+				return nil, nil, err
+			}
+			return jw, replay, nil
+		}
+		return core.AppendJournalWriter(f), replay, nil
+	}
+	return nil, nil, nil
 }
 
 // multiFlag collects repeatable string flags.

@@ -169,6 +169,23 @@ type ContextBinder interface {
 	BindContext(ctx context.Context)
 }
 
+// Resetter is an optional Machine capability: backends holding mutable
+// state that experiments perturb (a simulated machine's caches, bump
+// heap, page pool, file system, disk head) implement it to restore
+// their pristine post-construction state. The suite resets such a
+// machine before every experiment attempt, making each experiment
+// group's results a function of the machine and the group alone —
+// independent of which experiments ran before. That independence is
+// what guarantees a resumed run (whose earlier groups are replayed
+// from the journal rather than executed) produces a database
+// byte-identical to an uninterrupted run, and that a group run alone
+// matches the same group inside the full suite. Backends measuring a
+// real machine have no simulated state to restore and simply do not
+// implement the interface.
+type Resetter interface {
+	Reset()
+}
+
 // Machine is a complete benchmark target.
 type Machine interface {
 	// Name identifies the machine in the results database

@@ -33,6 +33,16 @@ const (
 	// ExperimentFailed reports a run abandoned for good: the error was
 	// not unsupported and the retry budget (or the context) is spent.
 	ExperimentFailed EventKind = "experiment_failed"
+	// ExperimentQuality reports a measurement rejected by the quality
+	// gate: the attempt succeeded but its samples were too noisy
+	// (Spread exceeded Suite.MaxRSD) and the experiment is being
+	// re-measured. Spread carries the observed relative spread and
+	// Samples the number of timed batches behind it.
+	ExperimentQuality EventKind = "quality"
+	// ExperimentReplayed reports an experiment whose result was
+	// restored from a run journal instead of being re-executed
+	// (`lmbench -resume`). Entries counts the restored entries.
+	ExperimentReplayed EventKind = "experiment_replayed"
 )
 
 // Event is one structured record in the run's event stream.
@@ -58,6 +68,13 @@ type Event struct {
 	Entries int `json:"entries,omitempty"`
 	// Err describes the failure on retried, skipped and failed events.
 	Err string `json:"error,omitempty"`
+	// Spread is the relative spread of the attempt's noisiest
+	// measurement ((median - min) / min of the timed batches); set on
+	// quality events and on finished events when the quality gate is
+	// enabled.
+	Spread float64 `json:"spread,omitempty"`
+	// Samples is the number of timed batches behind Spread.
+	Samples int `json:"samples,omitempty"`
 }
 
 // EventSink receives suite-lifecycle events. Implementations must be
@@ -123,6 +140,11 @@ func (t *TextSink) Event(e Event) {
 	case ExperimentRetried:
 		fmt.Fprintf(t.w, "%sretrying %-8s attempt %d failed: %s\n",
 			prefix, e.Experiment, e.Attempt, e.Err)
+	case ExperimentQuality:
+		fmt.Fprintf(t.w, "%snoisy    %-8s spread %.1f%% over %d samples, re-measuring\n",
+			prefix, e.Experiment, e.Spread*100, e.Samples)
+	case ExperimentReplayed:
+		fmt.Fprintf(t.w, "%sresumed  %-8s %s\n", prefix, e.Experiment, e.Title)
 	case ExperimentFailed:
 		fmt.Fprintf(t.w, "%sfailed  %-8s after %d attempt(s): %s\n",
 			prefix, e.Experiment, e.Attempt, e.Err)

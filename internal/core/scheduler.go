@@ -37,14 +37,21 @@ type Runner struct {
 	// discards it. Sinks must be concurrency-safe (the provided ones
 	// are).
 	Events EventSink
-	// Only, Extended, Experiments, Timeout, Retries and RetryBackoff
-	// are forwarded to each machine's Suite; see Suite.
-	Only         map[string]bool
-	Extended     bool
-	Experiments  []Experiment
-	Timeout      time.Duration
-	Retries      int
-	RetryBackoff time.Duration
+	// Only, Extended, Experiments, Timeout, Retries, RetryBackoff,
+	// MaxRSD, QualityRetries, Journal and Resume are forwarded to each
+	// machine's Suite; see Suite. The journal writer is concurrency-
+	// safe, so parallel machines interleave records freely; replay is
+	// keyed by (machine, experiment) and immune to that interleaving.
+	Only           map[string]bool
+	Extended       bool
+	Experiments    []Experiment
+	Timeout        time.Duration
+	Retries        int
+	RetryBackoff   time.Duration
+	MaxRSD         float64
+	QualityRetries int
+	Journal        *JournalWriter
+	Resume         *JournalReplay
 }
 
 // machineRun is one worker's outcome.
@@ -142,6 +149,8 @@ func (r *Runner) runMachine(ctx context.Context, sink EventSink, m Machine) mach
 		M: m, Opts: r.Opts, Events: sink,
 		Only: r.Only, Extended: r.Extended, Experiments: r.Experiments,
 		Timeout: r.Timeout, Retries: r.Retries, RetryBackoff: r.RetryBackoff,
+		MaxRSD: r.MaxRSD, QualityRetries: r.QualityRetries,
+		Journal: r.Journal, Resume: r.Resume,
 	}
 	sub := &results.DB{}
 	skipped, err := s.Run(ctx, sub)

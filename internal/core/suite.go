@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/results"
+	"repro/internal/stats"
 	"repro/internal/timing"
 )
 
@@ -169,8 +171,32 @@ type Suite struct {
 	// never retried; context cancellation is never retried.
 	Retries int
 	// RetryBackoff is the pause before the first retry, doubling each
-	// further attempt; default 100ms when Retries > 0.
+	// further attempt (capped at maxRetryBackoff); default 100ms when
+	// Retries > 0. The backoff sleep selects on the run context, so a
+	// cancelled run never waits out a pending backoff.
 	RetryBackoff time.Duration
+	// MaxRSD enables the measurement quality gate when positive. After
+	// a successful attempt, the relative spread ((median - min) / min)
+	// of each recorded measurement's timed batches is checked; if the
+	// noisiest exceeds MaxRSD the experiment is adaptively re-measured
+	// (up to QualityRetries times) and a "quality" event is emitted.
+	// Accepted entries are stamped with quality.* attrs (sample count,
+	// spread, outliers) so reports can flag low-confidence numbers.
+	MaxRSD float64
+	// QualityRetries caps re-measurements of a noisy experiment;
+	// default 2 when the gate is enabled. When the budget is spent the
+	// noisy result is accepted but flagged (quality.flagged attr).
+	QualityRetries int
+	// Journal, when non-nil, receives one checksummed record per
+	// completed experiment group as it finishes, making the run
+	// resumable after a crash (see JournalWriter).
+	Journal *JournalWriter
+	// Resume, when non-nil, replays completed work from a previous
+	// run's journal instead of re-executing it; only the remainder
+	// runs. Replayed entries merge at the same point in the iteration
+	// order as live execution, so a resumed database encodes
+	// byte-identically to an uninterrupted run.
+	Resume *JournalReplay
 }
 
 // Run executes the selected experiments and merges their entries into
@@ -210,10 +236,33 @@ func (s *Suite) Run(ctx context.Context, db *results.DB) (skipped []string, err 
 		if err := ctx.Err(); err != nil {
 			return skipped, err
 		}
+		if s.Resume != nil {
+			if rec, ok := s.Resume.Lookup(s.M.Name(), key); ok {
+				sink.Event(Event{
+					Kind: ExperimentReplayed, Time: time.Now(), Machine: s.M.Name(),
+					Experiment: exp.ID, Title: exp.Title, Entries: len(rec.Entries),
+				})
+				if rec.Skipped {
+					skipped = append(skipped, exp.ID)
+					continue
+				}
+				for _, e := range rec.Entries {
+					if err := db.Add(e); err != nil {
+						return skipped, fmt.Errorf("%s: replay %q: %w", exp.ID, e.Benchmark, err)
+					}
+				}
+				continue
+			}
+		}
 		entries, runErr := s.runExperiment(ctx, sink, exp, opts)
 		if runErr != nil {
 			if IsUnsupported(runErr) {
 				skipped = append(skipped, exp.ID)
+				if err := s.journal(JournalRecord{
+					Machine: s.M.Name(), Key: key, Skipped: true, Err: runErr.Error(),
+				}); err != nil {
+					return skipped, fmt.Errorf("%s: %w", exp.ID, err)
+				}
 				continue
 			}
 			return skipped, fmt.Errorf("%s: %w", exp.ID, runErr)
@@ -225,12 +274,39 @@ func (s *Suite) Run(ctx context.Context, db *results.DB) (skipped []string, err 
 				return skipped, fmt.Errorf("%s: add %q: %w", exp.ID, e.Benchmark, err)
 			}
 		}
+		if err := s.journal(JournalRecord{
+			Machine: s.M.Name(), Key: key, Entries: entries,
+		}); err != nil {
+			return skipped, fmt.Errorf("%s: %w", exp.ID, err)
+		}
 	}
 	return skipped, nil
 }
 
-// runExperiment drives one experiment through the attempt/retry loop,
-// emitting lifecycle events along the way.
+// journal appends rec when journaling is enabled.
+func (s *Suite) journal(rec JournalRecord) error {
+	if s.Journal == nil {
+		return nil
+	}
+	return s.Journal.Record(rec)
+}
+
+// maxRetryBackoff caps the doubling retry backoff: a large Retries
+// budget must never escalate a pause into multi-hour waits (or
+// overflow the duration entirely).
+const maxRetryBackoff = 30 * time.Second
+
+// nextBackoff doubles d, saturating at maxRetryBackoff.
+func nextBackoff(d time.Duration) time.Duration {
+	if d >= maxRetryBackoff/2 {
+		return maxRetryBackoff
+	}
+	return d * 2
+}
+
+// runExperiment drives one experiment through the attempt/retry loop
+// and the measurement quality gate, emitting lifecycle events along
+// the way.
 func (s *Suite) runExperiment(ctx context.Context, sink EventSink, exp Experiment, opts Options) ([]results.Entry, error) {
 	maxAttempts := 1 + s.Retries
 	if maxAttempts < 1 {
@@ -240,7 +316,14 @@ func (s *Suite) runExperiment(ctx context.Context, sink EventSink, exp Experimen
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
-	ev := func(kind EventKind, attempt int, dur time.Duration, entries int, err error) {
+	if backoff > maxRetryBackoff {
+		backoff = maxRetryBackoff
+	}
+	qualityLeft := s.QualityRetries
+	if s.MaxRSD > 0 && s.QualityRetries == 0 {
+		qualityLeft = 2
+	}
+	ev := func(kind EventKind, attempt int, dur time.Duration, entries int, err error, q qualitySummary) {
 		e := Event{
 			Kind: kind, Time: time.Now(), Machine: s.M.Name(),
 			Experiment: exp.ID, Title: exp.Title,
@@ -249,42 +332,63 @@ func (s *Suite) runExperiment(ctx context.Context, sink EventSink, exp Experimen
 		if err != nil {
 			e.Err = err.Error()
 		}
+		if q.Measurements > 0 {
+			e.Spread = q.WorstSpread
+			e.Samples = q.Samples
+		}
 		sink.Event(e)
 	}
 	for attempt := 1; ; attempt++ {
-		ev(ExperimentStarted, attempt, 0, 0, nil)
+		ev(ExperimentStarted, attempt, 0, 0, nil, qualitySummary{})
 		start := time.Now()
-		entries, err := s.attempt(ctx, exp, opts)
+		entries, q, err := s.attempt(ctx, exp, opts)
 		dur := time.Since(start)
 		switch {
 		case err == nil:
-			ev(ExperimentFinished, attempt, dur, len(entries), nil)
+			if s.MaxRSD > 0 && q.Measurements > 0 && q.WorstSpread > s.MaxRSD && qualityLeft > 0 {
+				// Too noisy: reject the measurement and try again.
+				qualityLeft--
+				ev(ExperimentQuality, attempt, dur, len(entries), nil, q)
+				continue
+			}
+			if s.MaxRSD > 0 && q.Measurements > 0 {
+				stampQuality(entries, q, q.WorstSpread > s.MaxRSD)
+			}
+			ev(ExperimentFinished, attempt, dur, len(entries), nil, q)
 			return entries, nil
 		case IsUnsupported(err):
-			ev(ExperimentSkipped, attempt, dur, 0, err)
+			ev(ExperimentSkipped, attempt, dur, 0, err, qualitySummary{})
 			return nil, err
 		case ctx.Err() != nil || attempt >= maxAttempts:
-			ev(ExperimentFailed, attempt, dur, 0, err)
+			ev(ExperimentFailed, attempt, dur, 0, err, qualitySummary{})
 			return nil, err
 		}
-		ev(ExperimentRetried, attempt, dur, 0, err)
+		ev(ExperimentRetried, attempt, dur, 0, err, qualitySummary{})
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		case <-time.After(backoff):
 		}
-		backoff *= 2
+		backoff = nextBackoff(backoff)
 	}
 }
 
 // attempt runs exp once under the per-experiment deadline, holding the
 // wall-clock mutex when the machine measures real time and binding the
 // context into the backend's blocking primitives when it can accept
-// one.
-func (s *Suite) attempt(ctx context.Context, exp Experiment, opts Options) ([]results.Entry, error) {
+// one. When the quality gate is enabled, a measurement recorder rides
+// on the context and the attempt's sample statistics are summarized
+// for the gate.
+func (s *Suite) attempt(ctx context.Context, exp Experiment, opts Options) ([]results.Entry, qualitySummary, error) {
 	if timing.IsRealTime(s.M.Clock()) {
 		wallMu.Lock()
 		defer wallMu.Unlock()
+	}
+	// Every attempt starts from pristine machine state (see Resetter):
+	// results must not depend on earlier experiments, failed attempts,
+	// or quality-gate re-measurements.
+	if r, ok := s.M.(Resetter); ok {
+		r.Reset()
 	}
 	// Always derive a per-attempt context: backends that bind it may
 	// start a cancellation watchdog, and cancelling here guarantees the
@@ -297,9 +401,87 @@ func (s *Suite) attempt(ctx context.Context, exp Experiment, opts Options) ([]re
 		runCtx, cancel = context.WithCancel(ctx)
 	}
 	defer cancel()
+	var rec *timing.Recorder
+	if s.MaxRSD > 0 {
+		rec = &timing.Recorder{}
+		runCtx = timing.WithRecorder(runCtx, rec)
+	}
 	if cb, ok := s.M.(ContextBinder); ok {
 		cb.BindContext(runCtx)
 		defer cb.BindContext(context.Background())
 	}
-	return exp.Run(runCtx, s.M, opts)
+	entries, err := exp.Run(runCtx, s.M, opts)
+	var q qualitySummary
+	if rec != nil && err == nil {
+		q = summarizeQuality(rec)
+	}
+	return entries, q, err
+}
+
+// qualitySummary condenses the measurements of one attempt for the
+// quality gate.
+type qualitySummary struct {
+	// Measurements is how many BenchLoop measurements the attempt
+	// recorded (0 means the experiment took none — the gate abstains).
+	Measurements int
+	// Samples is the total number of timed batches across them.
+	Samples int
+	// WorstSpread is the largest relative spread observed.
+	WorstSpread float64
+	// Outliers counts samples beyond median + 3*MAD (MAD floored at
+	// 1% of the median so a lone spike over identical samples still
+	// registers); such spikes are the scheduling noise min-of-N
+	// reporting absorbs, counted here so reports can see them.
+	Outliers int
+}
+
+// summarizeQuality computes the gate statistics from an attempt's
+// recorded measurements.
+func summarizeQuality(rec *timing.Recorder) qualitySummary {
+	var q qualitySummary
+	for _, m := range rec.Measurements() {
+		if len(m.Samples) == 0 {
+			continue
+		}
+		q.Measurements++
+		q.Samples += len(m.Samples)
+		xs := make([]float64, len(m.Samples))
+		for i, s := range m.Samples {
+			xs[i] = float64(s)
+		}
+		if spread, err := stats.RelSpread(xs); err == nil && spread > q.WorstSpread {
+			q.WorstSpread = spread
+		}
+		med, err := stats.Median(xs)
+		if err != nil {
+			continue
+		}
+		mad, _ := stats.MAD(xs)
+		if floor := 0.01 * med; mad < floor {
+			mad = floor
+		}
+		for _, x := range xs {
+			if x > med+3*mad {
+				q.Outliers++
+			}
+		}
+	}
+	return q
+}
+
+// stampQuality annotates accepted entries with the attempt's sample
+// statistics; flagged marks results the gate could not calm within its
+// re-measurement budget.
+func stampQuality(entries []results.Entry, q qualitySummary, flagged bool) {
+	for i := range entries {
+		if entries[i].Attrs == nil {
+			entries[i].Attrs = make(map[string]string, 4)
+		}
+		entries[i].Attrs["quality.samples"] = strconv.Itoa(q.Samples)
+		entries[i].Attrs["quality.spread"] = strconv.FormatFloat(q.WorstSpread, 'g', -1, 64)
+		entries[i].Attrs["quality.outliers"] = strconv.Itoa(q.Outliers)
+		if flagged {
+			entries[i].Attrs["quality.flagged"] = "true"
+		}
+	}
 }

@@ -1,0 +1,401 @@
+// Package faults provides a deterministic, seeded fault-injection
+// wrapper around any core.Machine. It exists to prove the harness
+// itself: the suite scheduler's retries, backoff, timeouts,
+// cancellation and skip/merge semantics are exercised by a chaos test
+// suite that wraps simulated machines in every failure shape —
+// injected errors, latency spikes, stalls that trip per-experiment
+// deadlines, fail-N-then-succeed sequences, and primitives that
+// suddenly report ErrUnsupported. `lmbench -chaos <plan>` applies the
+// same wrapper to a real run for self-testing on live hosts.
+//
+// Determinism: all randomized decisions come from one seeded
+// rand.Rand per wrapped machine, consumed in primitive-call order.
+// The suite runs each machine's experiments sequentially, so a fixed
+// (seed, plan, workload) triple injects exactly the same faults at
+// exactly the same calls on every run — chaos tests assert exact
+// accounting, not distributions.
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/timing"
+)
+
+// ErrInjected marks failures manufactured by the wrapper; test code
+// distinguishes injected faults from real backend failures with
+// errors.Is.
+var ErrInjected = errors.New("faults: injected failure")
+
+// Plan describes what to inject. Rates are per primitive call and
+// drawn from one uniform sample per call, so ErrorRate + StallRate +
+// SpikeRate must not exceed 1.
+type Plan struct {
+	// Seed initializes the wrapper's random stream.
+	Seed int64
+	// ErrorRate is the probability a call fails with ErrInjected.
+	ErrorRate float64
+	// StallRate is the probability a call hangs for StallFor (or until
+	// the bound context is cancelled — this is the shape that trips
+	// per-experiment timeouts).
+	StallRate float64
+	// SpikeRate is the probability a call is delayed by SpikeFor
+	// before proceeding normally (a latency spike, not a failure).
+	SpikeRate float64
+	// StallFor bounds a stall; default 1s.
+	StallFor time.Duration
+	// SpikeFor is the injected latency; default 5ms.
+	SpikeFor time.Duration
+	// FailFirstN makes the first N calls of every targeted primitive
+	// fail deterministically before the rate draws begin — the
+	// fail-N-then-succeed sequence that proves retry accounting.
+	FailFirstN int
+	// Budget caps the total number of injected faults (errors, stalls
+	// and spikes combined, FailFirstN included); 0 means unlimited. A
+	// budget guarantees a chaotic run can still complete.
+	Budget int
+	// Ops restricts injection to primitives whose name matches one of
+	// these prefixes (e.g. "net" or "os.null_write"); empty targets
+	// every primitive.
+	Ops []string
+	// Unsupported lists primitive prefixes that report
+	// core.ErrUnsupported instead of running, exercising the suite's
+	// skip path.
+	Unsupported []string
+}
+
+// Validate rejects nonsensical plans.
+func (p Plan) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"ErrorRate", p.ErrorRate}, {"StallRate", p.StallRate}, {"SpikeRate", p.SpikeRate}} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faults: %s %v outside [0,1]", r.name, r.v)
+		}
+	}
+	if sum := p.ErrorRate + p.StallRate + p.SpikeRate; sum > 1 {
+		return fmt.Errorf("faults: rates sum to %v > 1", sum)
+	}
+	if p.StallFor < 0 || p.SpikeFor < 0 {
+		return errors.New("faults: negative stall or spike duration")
+	}
+	if p.FailFirstN < 0 {
+		return fmt.Errorf("faults: negative FailFirstN %d", p.FailFirstN)
+	}
+	if p.Budget < 0 {
+		return fmt.Errorf("faults: negative Budget %d", p.Budget)
+	}
+	return nil
+}
+
+// normalize fills defaults.
+func (p Plan) normalize() Plan {
+	if p.StallFor == 0 {
+		p.StallFor = time.Second
+	}
+	if p.SpikeFor == 0 {
+		p.SpikeFor = 5 * time.Millisecond
+	}
+	return p
+}
+
+// ParsePlan parses the CLI plan syntax: comma-separated key=value
+// pairs, e.g.
+//
+//	seed=42,err=0.2,stall=0.05,stallfor=2s,spike=0.1,spikefor=10ms,
+//	failn=2,budget=50,ops=net;os.null_write,unsupported=disk
+//
+// List values use ';' as the separator.
+func ParsePlan(s string) (Plan, error) {
+	var p Plan
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return p, fmt.Errorf("faults: plan field %q is not key=value", field)
+		}
+		var err error
+		switch k {
+		case "seed":
+			p.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "err":
+			p.ErrorRate, err = strconv.ParseFloat(v, 64)
+		case "stall":
+			p.StallRate, err = strconv.ParseFloat(v, 64)
+		case "spike":
+			p.SpikeRate, err = strconv.ParseFloat(v, 64)
+		case "stallfor":
+			p.StallFor, err = time.ParseDuration(v)
+		case "spikefor":
+			p.SpikeFor, err = time.ParseDuration(v)
+		case "failn":
+			p.FailFirstN, err = strconv.Atoi(v)
+		case "budget":
+			p.Budget, err = strconv.Atoi(v)
+		case "ops":
+			p.Ops = splitList(v)
+		case "unsupported":
+			p.Unsupported = splitList(v)
+		default:
+			return p, fmt.Errorf("faults: unknown plan key %q", k)
+		}
+		if err != nil {
+			return p, fmt.Errorf("faults: plan field %q: %w", field, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+func splitList(v string) []string {
+	var out []string
+	for _, s := range strings.Split(v, ";") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// OpStats counts what happened to one primitive.
+type OpStats struct {
+	Calls       int
+	Errors      int
+	Stalls      int
+	Spikes      int
+	Unsupported int
+}
+
+// Stats aggregates a wrapper's injection counters.
+type Stats struct {
+	Calls       int
+	Errors      int
+	Stalls      int
+	Spikes      int
+	Unsupported int
+	PerOp       map[string]OpStats
+}
+
+// Faults returns the total number of injected faults.
+func (s Stats) Faults() int { return s.Errors + s.Stalls + s.Spikes }
+
+// String renders a one-line summary for the -chaos self-test report.
+func (s Stats) String() string {
+	ops := make([]string, 0, len(s.PerOp))
+	for op := range s.PerOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	return fmt.Sprintf("%d calls over %d primitives: %d errors, %d stalls, %d spikes, %d unsupported",
+		s.Calls, len(ops), s.Errors, s.Stalls, s.Spikes, s.Unsupported)
+}
+
+// Machine wraps a core.Machine, injecting the plan's faults into every
+// primitive call. It implements core.Machine and core.ContextBinder.
+type Machine struct {
+	inner core.Machine
+	plan  Plan
+
+	mem  *memOps
+	os   *osOps
+	net  *netOps
+	fs   *fsOps
+	disk *diskOps
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	perOp map[string]*OpStats
+	total Stats
+	ctx   context.Context
+}
+
+var (
+	_ core.Machine       = (*Machine)(nil)
+	_ core.ContextBinder = (*Machine)(nil)
+)
+
+// Wrap builds the chaos wrapper for m. The plan should be validated
+// first (ParsePlan does); Wrap fills defaults for zero durations.
+func Wrap(m core.Machine, p Plan) *Machine {
+	f := &Machine{
+		inner: m,
+		plan:  p.normalize(),
+		rng:   rand.New(rand.NewSource(p.Seed)),
+		perOp: map[string]*OpStats{},
+	}
+	f.mem = &memOps{f: f, inner: m.Mem()}
+	f.os = &osOps{f: f, inner: m.OS()}
+	f.net = &netOps{f: f, inner: m.Net()}
+	f.fs = &fsOps{f: f, inner: m.FS()}
+	if d := m.Disk(); d != nil {
+		f.disk = &diskOps{f: f, inner: d}
+	}
+	return f
+}
+
+// Name implements core.Machine; the wrapper is transparent so chaos
+// results land under the real machine's name.
+func (f *Machine) Name() string { return f.inner.Name() }
+
+// Clock implements core.Machine.
+func (f *Machine) Clock() timing.Clock { return f.inner.Clock() }
+
+// Mem implements core.Machine.
+func (f *Machine) Mem() core.MemOps { return f.mem }
+
+// OS implements core.Machine.
+func (f *Machine) OS() core.OSOps { return f.os }
+
+// Net implements core.Machine.
+func (f *Machine) Net() core.NetOps { return f.net }
+
+// FS implements core.Machine.
+func (f *Machine) FS() core.FSOps { return f.fs }
+
+// Disk implements core.Machine.
+func (f *Machine) Disk() core.DiskOps {
+	if f.disk == nil {
+		return nil
+	}
+	return f.disk
+}
+
+// BindContext implements core.ContextBinder: stalls select on the
+// bound per-experiment context (that is how an injected hang trips
+// the suite's timeout), and the binding is forwarded to the inner
+// machine when it accepts one.
+func (f *Machine) BindContext(ctx context.Context) {
+	f.mu.Lock()
+	f.ctx = ctx
+	f.mu.Unlock()
+	if cb, ok := f.inner.(core.ContextBinder); ok {
+		cb.BindContext(ctx)
+	}
+}
+
+// Reset implements core.Resetter by forwarding to the wrapped machine,
+// so per-attempt state isolation survives fault wrapping. The fault
+// plan's own state — the seeded fault stream, the fail-first-N
+// counters, the injection budget — is deliberately NOT reset: the plan
+// describes one continuous fault history for the whole run.
+func (f *Machine) Reset() {
+	if r, ok := f.inner.(core.Resetter); ok {
+		r.Reset()
+	}
+}
+
+// Stats returns a snapshot of the injection counters.
+func (f *Machine) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := f.total
+	out.PerOp = make(map[string]OpStats, len(f.perOp))
+	for op, st := range f.perOp {
+		out.PerOp[op] = *st
+	}
+	return out
+}
+
+func matchAny(prefixes []string, op string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(op, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// inject is the single decision point every wrapped primitive calls
+// before delegating. It returns a non-nil error when the call should
+// fail instead of running.
+func (f *Machine) inject(op string) error {
+	f.mu.Lock()
+	if len(f.plan.Ops) > 0 && !matchAny(f.plan.Ops, op) && !matchAny(f.plan.Unsupported, op) {
+		f.mu.Unlock()
+		return nil
+	}
+	st := f.perOp[op]
+	if st == nil {
+		st = &OpStats{}
+		f.perOp[op] = st
+	}
+	st.Calls++
+	f.total.Calls++
+	if matchAny(f.plan.Unsupported, op) {
+		st.Unsupported++
+		f.total.Unsupported++
+		f.mu.Unlock()
+		return fmt.Errorf("faults: %s: %w", op, core.ErrUnsupported)
+	}
+	if st.Calls <= f.plan.FailFirstN && f.budgetLeftLocked() {
+		st.Errors++
+		f.total.Errors++
+		n := st.Calls
+		f.mu.Unlock()
+		return fmt.Errorf("faults: %s: failure %d of %d: %w", op, n, f.plan.FailFirstN, ErrInjected)
+	}
+	if !f.budgetLeftLocked() {
+		f.mu.Unlock()
+		return nil
+	}
+	x := f.rng.Float64()
+	switch {
+	case x < f.plan.ErrorRate:
+		st.Errors++
+		f.total.Errors++
+		f.mu.Unlock()
+		return fmt.Errorf("faults: %s: %w", op, ErrInjected)
+	case x < f.plan.ErrorRate+f.plan.StallRate:
+		st.Stalls++
+		f.total.Stalls++
+		ctx := f.ctx
+		f.mu.Unlock()
+		return f.stall(ctx)
+	case x < f.plan.ErrorRate+f.plan.StallRate+f.plan.SpikeRate:
+		st.Spikes++
+		f.total.Spikes++
+		f.mu.Unlock()
+		time.Sleep(f.plan.SpikeFor)
+		return nil
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+// budgetLeftLocked reports whether another fault may be injected.
+func (f *Machine) budgetLeftLocked() bool {
+	return f.plan.Budget == 0 || f.total.Errors+f.total.Stalls+f.total.Spikes < f.plan.Budget
+}
+
+// stall hangs like a wedged primitive: it returns the context error
+// if the experiment is cancelled or deadlined first, and nil (the
+// hang resolved itself) if StallFor elapses unnoticed.
+func (f *Machine) stall(ctx context.Context) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	t := time.NewTimer(f.plan.StallFor)
+	defer t.Stop()
+	select {
+	case <-done:
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

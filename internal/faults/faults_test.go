@@ -1,0 +1,206 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/machines"
+)
+
+func sim(t *testing.T, name string) core.Machine {
+	t.Helper()
+	p, ok := machines.ByName(name)
+	if !ok {
+		t.Fatalf("no profile %q", name)
+	}
+	m, err := machines.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("seed=42,err=0.2,stall=0.05,stallfor=2s,spike=0.1,spikefor=10ms,failn=2,budget=50,ops=net;os.null_write,unsupported=disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{
+		Seed: 42, ErrorRate: 0.2, StallRate: 0.05, SpikeRate: 0.1,
+		StallFor: 2 * time.Second, SpikeFor: 10 * time.Millisecond,
+		FailFirstN: 2, Budget: 50,
+	}
+	if p.Seed != want.Seed || p.ErrorRate != want.ErrorRate || p.StallRate != want.StallRate ||
+		p.SpikeRate != want.SpikeRate || p.StallFor != want.StallFor || p.SpikeFor != want.SpikeFor ||
+		p.FailFirstN != want.FailFirstN || p.Budget != want.Budget {
+		t.Errorf("parsed %+v, want %+v", p, want)
+	}
+	if len(p.Ops) != 2 || p.Ops[0] != "net" || p.Ops[1] != "os.null_write" {
+		t.Errorf("Ops = %v", p.Ops)
+	}
+	if len(p.Unsupported) != 1 || p.Unsupported[0] != "disk" {
+		t.Errorf("Unsupported = %v", p.Unsupported)
+	}
+
+	for _, bad := range []string{
+		"err=1.5",           // rate out of range
+		"err=0.6,stall=0.6", // rates sum past 1
+		"bogus=1",           // unknown key
+		"err",               // not key=value
+		"failn=-1",          // negative
+		"stallfor=notaduration",
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted nonsense", bad)
+		}
+	}
+	// Empty plan is valid (no injection).
+	if _, err := ParsePlan(""); err != nil {
+		t.Errorf("empty plan rejected: %v", err)
+	}
+}
+
+// TestDeterministicInjection is the foundation of the chaos suite:
+// identical (seed, plan, call sequence) triples inject identically.
+func TestDeterministicInjection(t *testing.T) {
+	run := func() []string {
+		f := Wrap(sim(t, "Linux/i686"), Plan{Seed: 7, ErrorRate: 0.4})
+		var outcomes []string
+		for i := 0; i < 200; i++ {
+			if err := f.OS().NullWrite(); err != nil {
+				outcomes = append(outcomes, "err")
+			} else {
+				outcomes = append(outcomes, "ok")
+			}
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d diverged: %s vs %s", i, a[i], b[i])
+		}
+	}
+	// And the rate is in the right ballpark for a seeded stream.
+	errs := 0
+	for _, o := range a {
+		if o == "err" {
+			errs++
+		}
+	}
+	if errs < 50 || errs > 110 {
+		t.Errorf("injected %d/200 errors at rate 0.4", errs)
+	}
+}
+
+func TestFailFirstNThenSucceed(t *testing.T) {
+	f := Wrap(sim(t, "Linux/i686"), Plan{FailFirstN: 3})
+	for i := 1; i <= 3; i++ {
+		err := f.OS().NullWrite()
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if err := f.OS().NullWrite(); err != nil {
+		t.Fatalf("call 4 should succeed: %v", err)
+	}
+	// Counters are per primitive: a different op starts its own run.
+	if err := f.Net().PipeRoundTrip(); !errors.Is(err, ErrInjected) {
+		t.Errorf("first pipe call: err = %v, want ErrInjected", err)
+	}
+	st := f.Stats()
+	if st.Errors != 4 {
+		t.Errorf("Errors = %d, want 4", st.Errors)
+	}
+	if op := st.PerOp["os.null_write"]; op.Calls != 4 || op.Errors != 3 {
+		t.Errorf("os.null_write stats = %+v", op)
+	}
+}
+
+func TestOpsFilterAndUnsupported(t *testing.T) {
+	f := Wrap(sim(t, "Linux/i686"), Plan{
+		ErrorRate:   1,
+		Ops:         []string{"net"},
+		Unsupported: []string{"disk"},
+	})
+	// Untargeted primitive: no injection at all.
+	if err := f.OS().NullWrite(); err != nil {
+		t.Errorf("untargeted op failed: %v", err)
+	}
+	// Targeted primitive: always fails at rate 1.
+	if err := f.Net().TCPRoundTrip(); !errors.Is(err, ErrInjected) {
+		t.Errorf("targeted op: err = %v, want ErrInjected", err)
+	}
+	// Unsupported primitive reports core.ErrUnsupported.
+	if err := f.Disk().SeqRead512(); !core.IsUnsupported(err) {
+		t.Errorf("disk op: err = %v, want ErrUnsupported", err)
+	}
+	st := f.Stats()
+	if st.Unsupported != 1 || st.Errors != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if op, ok := st.PerOp["os.null_write"]; ok {
+		t.Errorf("untargeted op was counted: %+v", op)
+	}
+}
+
+func TestBudgetCapsInjection(t *testing.T) {
+	f := Wrap(sim(t, "Linux/i686"), Plan{ErrorRate: 1, Budget: 5})
+	errs := 0
+	for i := 0; i < 50; i++ {
+		if err := f.OS().NullWrite(); err != nil {
+			errs++
+		}
+	}
+	if errs != 5 {
+		t.Errorf("injected %d errors with budget 5", errs)
+	}
+}
+
+// TestStallHonorsBoundContext: a stall wakes when the bound
+// per-experiment context is cancelled — the mechanism that lets a
+// stall trip the suite's timeout instead of wedging the run.
+func TestStallHonorsBoundContext(t *testing.T) {
+	f := Wrap(sim(t, "Linux/i686"), Plan{StallRate: 1, StallFor: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	f.BindContext(ctx)
+	start := time.Now()
+	err := f.OS().NullWrite()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("stalled call returned %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("stall took %v to notice cancellation", d)
+	}
+	if f.Stats().Stalls != 1 {
+		t.Errorf("Stalls = %d, want 1", f.Stats().Stalls)
+	}
+}
+
+// TestWrapperTransparent: name, clock and pure accessors pass through.
+func TestWrapperTransparent(t *testing.T) {
+	m := sim(t, "Linux/i686")
+	f := Wrap(m, Plan{})
+	if f.Name() != m.Name() {
+		t.Errorf("Name = %q, want %q", f.Name(), m.Name())
+	}
+	if f.Clock() != m.Clock() {
+		t.Error("Clock not passed through")
+	}
+	if f.Net().Media() == nil {
+		t.Error("sim machine should report remote media through the wrapper")
+	}
+	// With an empty plan nothing is injected.
+	for i := 0; i < 20; i++ {
+		if err := f.OS().NullWrite(); err != nil {
+			t.Fatalf("empty plan injected: %v", err)
+		}
+	}
+	if st := f.Stats(); st.Faults() != 0 {
+		t.Errorf("empty plan recorded faults: %+v", st)
+	}
+}

@@ -1,0 +1,137 @@
+package host
+
+// Tests for the ContextBinder watchdog: binding a context must let
+// cancellation and deadlines wake I/O that is already blocked deep in
+// a pipe or socket read — the mechanism that makes per-experiment
+// timeouts enforceable against a wedged host benchmark — and clearing
+// the binding must restore normal operation.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"testing"
+	"time"
+)
+
+// blockedRead runs read in a goroutine and returns a channel carrying
+// its error.
+func blockedRead(read func() error) <-chan error {
+	done := make(chan error, 1)
+	go func() { done <- read() }()
+	return done
+}
+
+// expectWoken asserts that a blocked read returns a deadline error
+// promptly instead of sleeping forever.
+func expectWoken(t *testing.T, done <-chan error, what string) {
+	t.Helper()
+	select {
+	case err := <-done:
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Errorf("%s returned %v, want ErrDeadlineExceeded", what, err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("%s stayed blocked after the watchdog should have fired", what)
+	}
+}
+
+// TestBindContextWakesBlockedPipeRead: cancel while a reader is parked
+// in a pipe read with no writer — the watchdog's forced deadline must
+// wake it.
+func TestBindContextWakesBlockedPipeRead(t *testing.T) {
+	m := newHost(t)
+	// Prime the latency pipes (and their echo goroutine).
+	if err := m.Net().PipeRoundTrip(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m.BindContext(ctx)
+	defer m.BindContext(context.Background())
+
+	// Nothing is written to the A-side, so the B-side read blocks.
+	var b [1]byte
+	done := blockedRead(func() error {
+		_, err := m.net.latPipeBR.Read(b[:])
+		return err
+	})
+	time.Sleep(50 * time.Millisecond) // let the read park
+	cancel()
+	expectWoken(t, done, "pipe read")
+}
+
+// TestBindContextWakesBlockedSocketRead: same for a TCP socket — the
+// echo server only answers after receiving, so a bare read blocks
+// until the watchdog fires.
+func TestBindContextWakesBlockedSocketRead(t *testing.T) {
+	m := newHost(t)
+	if err := m.Net().TCPRoundTrip(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m.BindContext(ctx)
+	defer m.BindContext(context.Background())
+
+	var b [1]byte
+	done := blockedRead(func() error {
+		_, err := m.net.echoC.Read(b[:])
+		return err
+	})
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	expectWoken(t, done, "socket read")
+}
+
+// TestBindContextDeadlineFires: a context that already carries a
+// deadline propagates it at bind time — blocked I/O wakes when the
+// deadline passes with no explicit cancel.
+func TestBindContextDeadlineFires(t *testing.T) {
+	m := newHost(t)
+	if err := m.Net().PipeRoundTrip(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	m.BindContext(ctx)
+	defer m.BindContext(context.Background())
+
+	var b [1]byte
+	done := blockedRead(func() error {
+		_, err := m.net.latPipeBR.Read(b[:])
+		return err
+	})
+	expectWoken(t, done, "deadlined pipe read")
+}
+
+// TestBindContextClearRestores: after a cancelled binding is replaced
+// with context.Background(), the primitives work normally again — the
+// forced deadlines and the context check must not outlive the binding.
+func TestBindContextClearRestores(t *testing.T) {
+	m := newHost(t)
+	if err := m.Net().PipeRoundTrip(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m.BindContext(ctx)
+	cancel()
+	// With the cancelled context still bound, ops refuse promptly.
+	start := time.Now()
+	if err := m.Net().PipeRoundTrip(); err == nil {
+		t.Error("op succeeded under a cancelled binding")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("cancelled op took %v to fail", d)
+	}
+
+	m.BindContext(context.Background())
+	for i := 0; i < 10; i++ {
+		if err := m.Net().PipeRoundTrip(); err != nil {
+			t.Fatalf("round trip %d after clearing binding: %v", i, err)
+		}
+	}
+	if err := m.Net().TCPRoundTrip(); err != nil {
+		t.Errorf("socket round trip after clearing binding: %v", err)
+	}
+}

@@ -29,6 +29,10 @@ import (
 	"repro/internal/timing"
 )
 
+// pageSeed fixes the OS page-placement stream; Reset rewinds it so
+// every experiment group sees the same "freshly booted" allocator.
+const pageSeed = 20260705
+
 // Machine is a fully assembled simulated machine.
 type Machine struct {
 	profile Profile
@@ -42,6 +46,11 @@ type Machine struct {
 	disk    *simdisk.Disk
 	pageRNG *rand.Rand
 
+	// heapMark is the simulated heap position once the fixed build-time
+	// allocations (pipe and socket buffers, scratch words) are in place;
+	// Reset rewinds the heap here.
+	heapMark uint64
+
 	memOps  *memOps
 	osOps   *osOps
 	netOps  *netOps
@@ -50,6 +59,37 @@ type Machine struct {
 }
 
 var _ core.Machine = (*Machine)(nil)
+var _ core.Resetter = (*Machine)(nil)
+
+// Reset implements core.Resetter: it restores the machine's pristine
+// post-build state — caches and TLB cold, the bump heap rewound to its
+// post-build mark, the page pool and page-placement RNG rewound, no
+// files, the disk head parked with an empty read-ahead buffer. The
+// suite calls this before every experiment attempt so that a group's
+// results depend only on the machine and the group, never on which
+// experiments ran earlier — the property that makes a resumed run
+// (where earlier groups are replayed from the journal, not executed)
+// byte-identical to an uninterrupted one. The virtual clock is NOT
+// rewound: measurements are durations, and a monotonic clock must stay
+// monotonic.
+func (m *Machine) Reset() {
+	m.mem.Reset(m.heapMark)
+	m.os.Reset()
+	m.fs.Reset()
+	m.disk.Reset()
+	m.pageRNG = rand.New(rand.NewSource(pageSeed))
+	// Lazily grown structures sit above the heap mark; drop them so
+	// they reallocate (at the same addresses) on next use.
+	m.memOps.streamArr = [3]uint64{}
+	m.memOps.streamSize = 0
+	m.osOps.smp = nil
+	m.osOps.pp = 0
+	m.osOps.vm = nil
+	m.fsOps.created = make(map[string]bool)
+	if m.diskOps != nil {
+		m.diskOps.pos = 0
+	}
+}
 
 // Name returns the profile name.
 func (m *Machine) Name() string { return m.profile.Name }

@@ -172,7 +172,7 @@ func Build(p Profile) (*Machine, error) {
 		net:     nt,
 		fs:      fs,
 		disk:    disk,
-		pageRNG: rand.New(rand.NewSource(20260705)),
+		pageRNG: rand.New(rand.NewSource(pageSeed)),
 	}
 	m.memOps = &memOps{m: m}
 	m.osOps = &osOps{m: m}
@@ -181,6 +181,9 @@ func Build(p Profile) (*Machine, error) {
 	if p.DiskOverheadUS > 0 {
 		m.diskOps = &diskOps{m: m}
 	}
+	// Everything allocated so far is permanent machine furniture;
+	// Reset rewinds the heap to this point.
+	m.heapMark = mem.Mark()
 	return m, nil
 }
 

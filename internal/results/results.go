@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -59,10 +60,22 @@ type DB struct {
 }
 
 // Add stores e, replacing any existing entry for the same
-// (benchmark, machine) pair. Benchmark and Machine must be non-empty.
+// (benchmark, machine) pair. Benchmark and Machine must be non-empty,
+// and every value must be finite: a NaN or Inf is always an upstream
+// measurement bug, and admitting one would poison mins, medians and
+// every report built on the database.
 func (db *DB) Add(e Entry) error {
 	if e.Benchmark == "" || e.Machine == "" {
 		return errors.New("results: entry needs benchmark and machine names")
+	}
+	if !finite(e.Scalar) {
+		return fmt.Errorf("results: %s on %s: non-finite scalar %v", e.Benchmark, e.Machine, e.Scalar)
+	}
+	for i, p := range e.Series {
+		if !finite(p.X) || !finite(p.X2) || !finite(p.Y) {
+			return fmt.Errorf("results: %s on %s: non-finite series point %d (%v, %v, %v)",
+				e.Benchmark, e.Machine, i, p.X, p.X2, p.Y)
+		}
 	}
 	if db.entries == nil {
 		db.entries = make(map[key]*Entry)
@@ -199,6 +212,23 @@ func (db *DB) Encode(w io.Writer) error {
 
 func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
 
+// finite rejects the values ParseFloat happily accepts ("NaN", "+Inf")
+// but no benchmark can legitimately produce.
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// parseFinite is ParseFloat restricted to finite values, for the
+// decoder's numeric fields.
+func parseFinite(s string) (float64, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if !finite(f) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return f, nil
+}
+
 // Decode parses a database previously written by Encode.
 func Decode(r io.Reader) (*DB, error) {
 	sc := bufio.NewScanner(r)
@@ -231,7 +261,7 @@ func Decode(r io.Reader) (*DB, error) {
 			if len(fields) != 5 {
 				return nil, fmt.Errorf("results: line %d: entry wants 4 args", lineNo)
 			}
-			scalar, err := strconv.ParseFloat(fields[4], 64)
+			scalar, err := parseFinite(fields[4])
 			if err != nil {
 				return nil, fmt.Errorf("results: line %d: bad scalar: %w", lineNo, err)
 			}
@@ -249,13 +279,13 @@ func Decode(r io.Reader) (*DB, error) {
 				return nil, fmt.Errorf("results: line %d: misplaced point", lineNo)
 			}
 			var p Point
-			if p.X, err = strconv.ParseFloat(fields[1], 64); err != nil {
+			if p.X, err = parseFinite(fields[1]); err != nil {
 				return nil, fmt.Errorf("results: line %d: bad point: %w", lineNo, err)
 			}
-			if p.X2, err = strconv.ParseFloat(fields[2], 64); err != nil {
+			if p.X2, err = parseFinite(fields[2]); err != nil {
 				return nil, fmt.Errorf("results: line %d: bad point: %w", lineNo, err)
 			}
-			if p.Y, err = strconv.ParseFloat(fields[3], 64); err != nil {
+			if p.Y, err = parseFinite(fields[3]); err != nil {
 				return nil, fmt.Errorf("results: line %d: bad point: %w", lineNo, err)
 			}
 			cur.Series = append(cur.Series, p)

@@ -243,3 +243,87 @@ func TestEntriesInsertionOrder(t *testing.T) {
 		t.Errorf("Entries not in insertion order: %v", es)
 	}
 }
+
+// TestAddRejectsNonFinite: NaN and Inf are always upstream measurement
+// bugs; the database refuses them at the door so they cannot poison
+// mins, medians, or encoded files.
+func TestAddRejectsNonFinite(t *testing.T) {
+	db := &DB{}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := db.Add(Entry{Benchmark: "b", Machine: "m", Scalar: bad}); err == nil {
+			t.Errorf("Add accepted scalar %v", bad)
+		}
+		for _, p := range []Point{{X: bad}, {X2: bad}, {Y: bad}} {
+			if err := db.Add(Entry{Benchmark: "b", Machine: "m", Series: []Point{{1, 2, 3}, p}}); err == nil {
+				t.Errorf("Add accepted series point with %v", bad)
+			}
+		}
+	}
+	if db.Len() != 0 {
+		t.Errorf("rejected entries were stored: %d", db.Len())
+	}
+	// The error names the offender.
+	err := db.Add(Entry{Benchmark: "bw_mem.read", Machine: "host", Scalar: math.NaN()})
+	if err == nil || !strings.Contains(err.Error(), "bw_mem.read") || !strings.Contains(err.Error(), "host") {
+		t.Errorf("error does not identify the entry: %v", err)
+	}
+}
+
+// TestDecodeRejectsNonFinite: ParseFloat happily reads "NaN" and
+// "+Inf"; the decoder must not.
+func TestDecodeRejectsNonFinite(t *testing.T) {
+	for _, body := range []string{
+		"entry \"b\" \"m\" \"us\" NaN\nend\n",
+		"entry \"b\" \"m\" \"us\" +Inf\nend\n",
+		"entry \"b\" \"m\" \"us\" -Inf\nend\n",
+		"entry \"b\" \"m\" \"us\" 1\npoint NaN 0 1\nend\n",
+		"entry \"b\" \"m\" \"us\" 1\npoint 1 Inf 1\nend\n",
+		"entry \"b\" \"m\" \"us\" 1\npoint 1 0 -Inf\nend\n",
+	} {
+		if _, err := Decode(strings.NewReader("# lmbench-go results v1\n" + body)); err == nil {
+			t.Errorf("Decode accepted %q", body)
+		}
+	}
+}
+
+// TestRoundTripQualityAttrs: the scheduler's quality stamps survive an
+// encode/decode cycle byte-identically.
+func TestRoundTripQualityAttrs(t *testing.T) {
+	db := &DB{}
+	err := db.Add(Entry{
+		Benchmark: "lat_syscall", Machine: "Linux/i686", Unit: "us", Scalar: 4.25,
+		Attrs: map[string]string{
+			"quality.samples":  "14",
+			"quality.spread":   "0.0625",
+			"quality.outliers": "1",
+			"quality.flagged":  "true",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	back, err := Decode(strings.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := back.Get("lat_syscall", "Linux/i686")
+	if !ok {
+		t.Fatal("entry missing after round trip")
+	}
+	want, _ := db.Get("lat_syscall", "Linux/i686")
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip changed the entry: %+v != %+v", got, want)
+	}
+	var buf2 bytes.Buffer
+	if err := back.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != first {
+		t.Error("re-encoding the decoded database changed the bytes")
+	}
+}

@@ -120,8 +120,21 @@ func New(clk *sim.Clock, cfg Config) *Disk {
 		size:       size,
 		bufStart:   -1,
 		bufEnd:     -1,
-		rng:        rand.New(rand.NewSource(42)),
+		rng:        rand.New(rand.NewSource(rngSeed)),
 	}
+}
+
+// rngSeed fixes the rotational-position stream so runs are
+// reproducible; Reset rewinds the stream to its start.
+const rngSeed = 42
+
+// Reset parks the head on track zero, invalidates the read-ahead
+// buffer, and rewinds the rotational-position stream — the state of a
+// freshly built disk. Stats counters are left alone.
+func (d *Disk) Reset() {
+	d.curTrack = 0
+	d.bufStart, d.bufEnd = -1, -1
+	d.rng = rand.New(rand.NewSource(rngSeed))
 }
 
 // Config returns the defaulted configuration.

@@ -149,6 +149,13 @@ func New(o *simos.OS, disk *simdisk.Disk, cfg Config) (*FS, error) {
 	}, nil
 }
 
+// Reset restores the freshly-mounted state: no files, and the group-
+// commit metadata counter back at zero.
+func (fs *FS) Reset() {
+	fs.files = make(map[string]*file)
+	fs.metaOps = 0
+}
+
 // Config returns the defaulted configuration.
 func (fs *FS) Config() Config { return fs.cfg }
 

@@ -438,6 +438,23 @@ func (h *Hierarchy) StreamReadPages(pages []uint64, pageSize int64) {
 	}
 }
 
+// Mark returns the current bump-heap position. A machine builder takes
+// a mark once its fixed allocations (kernel buffers, sockets) are in
+// place, and later rewinds to it with Reset.
+func (h *Hierarchy) Mark() uint64 { return h.heap }
+
+// Reset rewinds the hierarchy to the state it had when the heap stood
+// at mark: the bump heap rewinds (so the next experiment's buffers land
+// at the same simulated physical addresses, hence the same cache sets),
+// the random-page pool empties, and every cache level and the TLB flush
+// cold. Allocations made before mark stay valid. Accumulated stats are
+// left alone — they count, they do not cost.
+func (h *Hierarchy) Reset(mark uint64) {
+	h.heap = mark
+	h.pagePool = nil
+	h.FlushAll()
+}
+
 // FlushAll empties every cache level and the TLB, simulating a cold
 // start.
 func (h *Hierarchy) FlushAll() {

@@ -112,6 +112,10 @@ func New(cpu *sim.CPU, mem *simmem.Hierarchy, cfg Config) *OS {
 	}
 }
 
+// Reset clears process-visible kernel state (the installed signal
+// handler), returning the OS to its post-boot condition.
+func (o *OS) Reset() { o.sigInstalled = false }
+
 // Config returns the defaulted configuration.
 func (o *OS) Config() Config { return o.cfg }
 

@@ -129,6 +129,42 @@ func Percentile(xs []float64, p float64) (float64, error) {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
 }
 
+// MAD returns the median absolute deviation of xs: the median of
+// |x - median(xs)|. It is the robust spread estimator behind the
+// harness's measurement quality gate — unlike the standard deviation it
+// is not dominated by the occasional scheduling hiccup that min-of-N
+// reporting is designed to survive.
+func MAD(xs []float64) (float64, error) {
+	med, err := Median(xs)
+	if err != nil {
+		return 0, err
+	}
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		devs[i] = math.Abs(x - med)
+	}
+	return Median(devs)
+}
+
+// RelSpread returns the relative spread of the min-of-N sample set:
+// (median - min) / min. lmbench reports the minimum of repeated
+// measurements; this statistic says how far the typical sample sits
+// above that minimum. A small value means the minimum is well
+// supported by the rest of the samples; a large value means the run
+// was noisy and the reported minimum may be a fluke. All samples must
+// be positive (they are durations).
+func RelSpread(xs []float64) (float64, error) {
+	min, err := Min(xs)
+	if err != nil {
+		return 0, err
+	}
+	if min <= 0 {
+		return 0, errors.New("stats: relative spread requires positive samples")
+	}
+	med, _ := Median(xs)
+	return (med - min) / min, nil
+}
+
 // LinearFit holds the result of a least-squares line fit y = Slope*x +
 // Intercept, with R2 the coefficient of determination.
 type LinearFit struct {

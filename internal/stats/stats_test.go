@@ -388,3 +388,37 @@ func TestQuickSpearmanBounds(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMAD(t *testing.T) {
+	if _, err := MAD(nil); err == nil {
+		t.Error("MAD of empty set should fail")
+	}
+	got, err := MAD([]float64{1, 2, 3, 4, 5})
+	if err != nil || got != 1 {
+		t.Errorf("MAD(1..5) = %v, %v, want 1", got, err)
+	}
+	// MAD shrugs off one wild outlier where StdDev explodes.
+	got, err = MAD([]float64{10, 10, 10, 10, 1000})
+	if err != nil || got != 0 {
+		t.Errorf("MAD with outlier = %v, %v, want 0", got, err)
+	}
+}
+
+func TestRelSpread(t *testing.T) {
+	if _, err := RelSpread(nil); err == nil {
+		t.Error("RelSpread of empty set should fail")
+	}
+	if _, err := RelSpread([]float64{0, 1}); err == nil {
+		t.Error("RelSpread with non-positive min should fail")
+	}
+	// Identical samples: the min is perfectly supported.
+	got, err := RelSpread([]float64{5, 5, 5})
+	if err != nil || got != 0 {
+		t.Errorf("RelSpread(5,5,5) = %v, %v, want 0", got, err)
+	}
+	// Median 15 vs min 10: spread 0.5.
+	got, err = RelSpread([]float64{10, 15, 20})
+	if err != nil || math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("RelSpread(10,15,20) = %v, %v, want 0.5", got, err)
+	}
+}

@@ -1,0 +1,53 @@
+package timing
+
+import (
+	"context"
+	"sync"
+)
+
+// Recorder collects every Measurement taken during one experiment
+// attempt. The suite's quality gate installs one on the attempt
+// context; BenchLoopCtx records into it, so the gate can inspect the
+// raw per-batch samples that are otherwise collapsed into the
+// min-of-N scalar. Safe for concurrent use.
+type Recorder struct {
+	mu sync.Mutex
+	ms []Measurement
+}
+
+// Record appends one measurement.
+func (r *Recorder) Record(m Measurement) {
+	r.mu.Lock()
+	r.ms = append(r.ms, m)
+	r.mu.Unlock()
+}
+
+// Measurements returns a copy of everything recorded so far.
+func (r *Recorder) Measurements() []Measurement {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Measurement, len(r.ms))
+	copy(out, r.ms)
+	return out
+}
+
+// Reset discards all recorded measurements.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.ms = nil
+	r.mu.Unlock()
+}
+
+type recorderKey struct{}
+
+// WithRecorder returns a context carrying r; BenchLoopCtx calls made
+// under it record their measurements into r.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	return context.WithValue(ctx, recorderKey{}, r)
+}
+
+// RecorderFrom extracts the recorder installed by WithRecorder, or nil.
+func RecorderFrom(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(recorderKey{}).(*Recorder)
+	return r
+}

@@ -288,7 +288,11 @@ func BenchLoopCtx(ctx context.Context, c Clock, opts Options, op func(n int64) e
 			best = elapsed
 		}
 	}
-	return Measurement{PerOp: best.DivN(n), N: n, Samples: samples}, nil
+	m := Measurement{PerOp: best.DivN(n), N: n, Samples: samples}
+	if rec := RecorderFrom(ctx); rec != nil {
+		rec.Record(m)
+	}
+	return m, nil
 }
 
 func timeBatch(c Clock, op func(n int64) error, n int64) (ptime.Duration, error) {

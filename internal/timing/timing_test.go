@@ -1,6 +1,7 @@
 package timing
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -212,5 +213,33 @@ func TestQuantizedZeroStepPassthrough(t *testing.T) {
 	q := &QuantizedClock{Base: base}
 	if q.Now() != 12345 {
 		t.Errorf("zero-step quantized clock should pass through")
+	}
+}
+
+func TestBenchLoopRecordsIntoRecorder(t *testing.T) {
+	clk := &opClock{}
+	rec := &Recorder{}
+	ctx := WithRecorder(context.Background(), rec)
+	m, err := BenchLoopCtx(ctx, clk, Options{MinSampleTime: ptime.Microsecond, Samples: 4}, func(n int64) error {
+		clk.chargeOp(200*ptime.Nanosecond, n)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := rec.Measurements()
+	if len(ms) != 1 {
+		t.Fatalf("recorder holds %d measurements, want 1", len(ms))
+	}
+	if ms[0].PerOp != m.PerOp || len(ms[0].Samples) != 4 {
+		t.Errorf("recorded %+v, want the returned measurement %+v", ms[0], m)
+	}
+	rec.Reset()
+	if len(rec.Measurements()) != 0 {
+		t.Error("Reset did not clear the recorder")
+	}
+	// Without a recorder on the context nothing is recorded.
+	if RecorderFrom(context.Background()) != nil {
+		t.Error("RecorderFrom on a bare context should be nil")
 	}
 }
