@@ -4,7 +4,14 @@ GO ?= go
 #   make chaos LMBENCH_CHAOS_SEED=99
 LMBENCH_CHAOS_SEED ?= 1
 
-.PHONY: all build vet test race chaos verify
+.PHONY: all build vet test race chaos verify bench bench-smoke profile
+
+# Benchmarks recorded in BENCH_pr3.json: the Figure-1 sweep plus the
+# memory-heavy tables (the simulator hot paths), and the simmem
+# micro-benchmarks underneath them.
+BENCH_PATTERN ?= Figure1MemoryLatency|Table2MemoryBandwidth|Table5FileReread|Table6CacheParams|Table10ContextSwitch
+BENCH_MICRO   ?= LoadL1Hit|LoadFullyAssocHit|ChaseDRAM|StreamReadResident
+BENCH_COUNT   ?= 5
 
 all: verify
 
@@ -28,6 +35,29 @@ race:
 chaos:
 	LMBENCH_CHAOS_SEED=$(LMBENCH_CHAOS_SEED) $(GO) test -race -v -run 'TestChaos' ./internal/faults/
 
+# bench measures the hot-path benchmarks ($(BENCH_COUNT) runs each; the
+# text logs feed benchstat directly) and condenses them into
+# BENCH_pr3.json. Set BENCH_BASELINE to a saved bench_after.txt from a
+# baseline tree to include before/after speedups.
+bench:
+	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -count $(BENCH_COUNT) . | tee bench_after.txt
+	$(GO) test -run XXX -bench '$(BENCH_MICRO)' -benchmem -count $(BENCH_COUNT) ./internal/simmem/ | tee -a bench_after.txt
+	$(GO) run ./cmd/benchjson -after bench_after.txt $(if $(BENCH_BASELINE),-before $(BENCH_BASELINE)) -out BENCH_pr3.json
+
+# bench-smoke proves every recorded benchmark still runs (one
+# iteration each); part of verify so a refactor cannot silently break
+# the measurement harness.
+bench-smoke:
+	$(GO) test -run XXX -bench Figure1MemoryLatency -benchtime 1x . > /dev/null
+	$(GO) test -run XXX -bench '$(BENCH_MICRO)' -benchtime 1x ./internal/simmem/ > /dev/null
+
+# profile captures pprof CPU and heap profiles of a representative
+# simulated run; inspect with `go tool pprof cpu.pprof`.
+profile:
+	$(GO) run ./cmd/lmbench -machine 'Linux/i686' -quiet -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	@echo "wrote cpu.pprof and mem.pprof"
+
 # verify is the tier-1 gate: everything must build, vet clean, pass
-# tests, and the concurrent scheduler must be race-clean.
-verify: build vet test race
+# tests, the concurrent scheduler must be race-clean, and the bench
+# harness must run.
+verify: build vet test race bench-smoke

@@ -1,0 +1,133 @@
+// Command benchjson condenses `go test -bench` output into a JSON
+// summary. Given an "after" benchmark log — and optionally a "before"
+// log from the pre-optimization tree — it reports per-benchmark
+// best-of-N ns/op and the before/after speedup:
+//
+//	go test -run XXX -bench Figure1 -count 5 | tee after.txt
+//	benchjson -after after.txt -before before.txt -out BENCH_pr3.json
+//
+// The input is the standard benchmark text format, so the same logs
+// feed benchstat directly; this tool only adds the machine-readable
+// summary checked in alongside the PR.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one benchmark result line, tolerating the -cpu
+// suffix and fractional ns/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+type summary struct {
+	// Name is the benchmark function name without the -cpu suffix.
+	Name string `json:"name"`
+	// BeforeNS and AfterNS are best-of-N ns/op (0 when absent).
+	BeforeNS float64 `json:"before_ns_per_op,omitempty"`
+	AfterNS  float64 `json:"after_ns_per_op"`
+	// Speedup is BeforeNS / AfterNS, present when both sides exist.
+	Speedup float64 `json:"speedup,omitempty"`
+	// Samples counts the after-side runs behind the best-of-N.
+	Samples int `json:"samples"`
+}
+
+func parse(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	out := map[string][]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		out[m[1]] = append(out[m[1]], ns)
+	}
+	return out, sc.Err()
+}
+
+func best(xs []float64) float64 {
+	b := xs[0]
+	for _, x := range xs[1:] {
+		if x < b {
+			b = x
+		}
+	}
+	return b
+}
+
+func main() {
+	var (
+		afterFlag  = flag.String("after", "", "benchmark log of the current tree (required)")
+		beforeFlag = flag.String("before", "", "benchmark log of the baseline tree")
+		outFlag    = flag.String("out", "", "write the JSON summary here (default stdout)")
+	)
+	flag.Parse()
+	if *afterFlag == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -after is required")
+		os.Exit(2)
+	}
+	after, err := parse(*afterFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(after) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark results in %s\n", *afterFlag)
+		os.Exit(1)
+	}
+	before := map[string][]float64{}
+	if *beforeFlag != "" {
+		if before, err = parse(*beforeFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	names := make([]string, 0, len(after))
+	for n := range after {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []summary
+	for _, n := range names {
+		s := summary{Name: n, AfterNS: best(after[n]), Samples: len(after[n])}
+		if bs := before[n]; len(bs) > 0 {
+			s.BeforeNS = best(bs)
+			if s.AfterNS > 0 {
+				s.Speedup = s.BeforeNS / s.AfterNS
+			}
+		}
+		out = append(out, s)
+	}
+	w := os.Stdout
+	if *outFlag != "" {
+		f, err := os.Create(*outFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer func() { _ = f.Close() }()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(map[string]any{"benchmarks": out}); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

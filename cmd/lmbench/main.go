@@ -26,6 +26,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
@@ -65,6 +67,9 @@ func run() error {
 		chaosFlag   = flag.String("chaos", "", "fault-injection plan, e.g. 'seed=1,err=0.3,stall=0.05' (see internal/faults)")
 		rsdFlag     = flag.Float64("max-rsd", 0, "re-measure experiments whose relative sample spread exceeds this (0 = off)")
 		qretryFlag  = flag.Int("quality-retries", 0, "re-measurements for a noisy experiment (default 2 when -max-rsd is set)")
+		shardsFlag  = flag.Int("shards", 1, "workers for independent-point sweeps on cloneable (simulated) machines; results are byte-identical at any value")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	var merges multiFlag
 	flag.Var(&merges, "merge", "preload a results database (repeatable)")
@@ -179,6 +184,32 @@ func run() error {
 			CtxProcs:     []int{2, 8, 16},
 			CtxSizes:     []int64{0, 16 << 10, 32 << 10},
 		}
+	}
+	opts.SweepShards = *shardsFlag
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "lmbench: memprofile:", err)
+			}
+			_ = f.Close()
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -1,0 +1,73 @@
+package lmbench_test
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machines"
+	"repro/internal/ptime"
+	"repro/internal/results"
+	"repro/internal/timing"
+)
+
+// goldenDBSHA256 pins the byte-identical-results contract: the full
+// suite on every simulated machine, encoded with the standard lmreport
+// options, must hash to exactly this value. Every performance
+// optimization in the simulator (O(1) cache probes, batched clock
+// charging, page-granular TLB probing, sharded sweeps) is argued — and
+// here verified — to change nothing observable. Regenerate only for a
+// deliberate modeling change:
+//
+//	go run ./cmd/lmreport -quiet -out results/simulated.db
+//	sha256sum results/simulated.db
+const goldenDBSHA256 = "53fd7a0d3795e6b0e10ea764c7b8af0b9eed9093ab95baaeffd9e4095d46bebd"
+
+// goldenOpts are cmd/lmreport's default options — the recipe behind
+// results/simulated.db.
+func goldenOpts() core.Options {
+	return core.Options{
+		Timing:       timing.Options{MinSampleTime: ptime.Millisecond, Samples: 2},
+		MemSize:      8 << 20,
+		FileSize:     8 << 20,
+		MaxChaseSize: 8 << 20,
+		FSFiles:      500,
+		CtxProcs:     []int{2, 4, 8, 12, 16, 20},
+		CtxSizes:     []int64{0, 4 << 10, 16 << 10, 32 << 10, 64 << 10},
+	}
+}
+
+// TestGoldenDatabaseByteIdentical regenerates the entire evaluation
+// in-process and compares the encoded database hash against the pinned
+// golden value. It takes ~25s of real time (the whole paper on seven
+// virtual machines), so -short skips it.
+func TestGoldenDatabaseByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite regeneration is slow; skipped with -short")
+	}
+	db := &results.DB{}
+	for _, n := range machines.Names() {
+		p, _ := machines.ByName(n)
+		m, err := machines.Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := &core.Suite{M: m, Opts: goldenOpts()}
+		if _, err := s.Run(context.Background(), db); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := db.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	if got := hex.EncodeToString(sum[:]); got != goldenDBSHA256 {
+		t.Errorf("regenerated database hash %s, want %s\n"+
+			"the simulator's observable behavior changed; if intentional, refresh results/ and this hash",
+			got, goldenDBSHA256)
+	}
+}

@@ -17,38 +17,47 @@ var ChaseStrides = []int64{8, 16, 32, 64, 128, 256, 512}
 // array sizes and strides. "The benchmark varies two parameters, array
 // size and array stride. ... The time reported is pure latency time"
 // (one load-instruction cycle subtracted).
+//
+// Every point starts from cold caches, so points are independent and
+// the sweep shards across cloned machines when Options.SweepShards and
+// the backend allow (see runSweep); results land in sweep order either
+// way, so the output is byte-identical to a serial run.
 func MemLatencySweep(ctx context.Context, m Machine, opts Options) ([]results.Entry, error) {
 	opts, err := opts.Normalize()
 	if err != nil {
 		return nil, err
 	}
-	mem := m.Mem()
-	region, err := mem.Alloc(opts.MaxChaseSize)
-	if err != nil {
-		return nil, err
-	}
-	clock := m.Clock()
-	overhead := mem.LoadOverheadNS()
-
-	var series []results.Point
+	type point struct{ size, stride int64 }
+	var pts []point
 	for _, stride := range ChaseStrides {
 		for size := int64(512); size <= opts.MaxChaseSize; size *= 2 {
 			if size < 2*stride {
 				continue
 			}
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
+			pts = append(pts, point{size, stride})
+		}
+	}
+	series := make([]results.Point, len(pts))
+	setup := func(m Machine) (func(context.Context, int) error, error) {
+		mem := m.Mem()
+		region, err := mem.Alloc(opts.MaxChaseSize)
+		if err != nil {
+			return nil, err
+		}
+		clock := m.Clock()
+		overhead := mem.LoadOverheadNS()
+		return func(ctx context.Context, i int) error {
+			p := pts[i]
 			if err := mem.FlushCaches(); err != nil && !IsUnsupported(err) {
-				return nil, err
+				return err
 			}
-			ch, err := mem.NewChase(region, size, stride)
+			ch, err := mem.NewChase(region, p.size, p.stride)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			lap := ch.Length()
 			if err := ch.Walk(lap); err != nil { // warm
-				return nil, err
+				return err
 			}
 			loads := 2 * lap
 			if loads < 4096 {
@@ -60,14 +69,18 @@ func MemLatencySweep(ctx context.Context, m Machine, opts Options) ([]results.En
 			// Min of two timed runs against run-to-run variability.
 			best, err := timing.MinOnce(clock, 2, func() error { return ch.Walk(loads) })
 			if err != nil {
-				return nil, err
+				return err
 			}
 			ns := best.DivN(loads).Nanoseconds() - overhead
 			if ns < 0 {
 				ns = 0
 			}
-			series = append(series, results.Point{X: float64(size), X2: float64(stride), Y: ns})
-		}
+			series[i] = results.Point{X: float64(p.size), X2: float64(p.stride), Y: ns}
+			return nil
+		}, nil
+	}
+	if err := runSweep(ctx, m, opts.SweepShards, len(pts), setup); err != nil {
+		return nil, err
 	}
 	return []results.Entry{{
 		Benchmark: "lat_mem_rd",

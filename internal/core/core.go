@@ -186,6 +186,31 @@ type Resetter interface {
 	Reset()
 }
 
+// SimStatser is an optional Machine capability: simulated backends
+// expose their internal activity counters (cache hits per level, DRAM
+// accesses, TLB misses, writebacks, fast-path hit counters) so the
+// suite can attach a per-experiment delta to the event stream. The
+// counters ride on events only — never on result entries — because the
+// results database is covered by the byte-identity guarantee and its
+// encoding must not change when instrumentation does.
+type SimStatser interface {
+	SimStats() map[string]int64
+}
+
+// Cloner is an optional Machine capability: backends that can stamp
+// out an independent copy of themselves implement it so point sweeps
+// (the Figure-1 size × stride grid, the §7 memory-variant sweep) can
+// fan points across workers. A clone must be indistinguishable from its
+// original at the observation points the sweeps use: same simulated
+// addresses from the same allocation sequence, same cost model, same
+// deterministic behavior — for the simulated machines, Clone simply
+// rebuilds the profile. Backends measuring real hardware cannot clone
+// the hardware and do not implement the interface, so their sweeps
+// always run serially.
+type Cloner interface {
+	Clone() (Machine, error)
+}
+
 // Machine is a complete benchmark target.
 type Machine interface {
 	// Name identifies the machine in the results database
@@ -225,6 +250,15 @@ type Options struct {
 	CtxProcs []int
 	// CtxSizes are the footprints for Figure 2; default 0,4K,16K,32K,64K.
 	CtxSizes []int64
+	// SweepShards is how many workers the independent-point sweeps may
+	// fan out across on machines implementing Cloner. Every sweep point
+	// starts from FlushCaches on its machine, so a point's value is a
+	// function of the machine and the point alone; workers evaluate
+	// disjoint point subsets on clones and the results assemble in
+	// sweep order, making any shard count byte-identical to a serial
+	// run. 0 or 1 means serial; machines without Clone always run
+	// serially.
+	SweepShards int
 }
 
 // Normalize validates o and fills in the paper's defaults for unset
@@ -258,6 +292,9 @@ func (o Options) Normalize() (Options, error) {
 		if s < 0 {
 			return o, fmt.Errorf("core: negative CtxSizes entry %d", s)
 		}
+	}
+	if o.SweepShards < 0 {
+		return o, fmt.Errorf("core: negative SweepShards %d", o.SweepShards)
 	}
 	var err error
 	if o.Timing, err = o.Timing.Normalize(); err != nil {

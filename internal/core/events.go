@@ -75,6 +75,15 @@ type Event struct {
 	Spread float64 `json:"spread,omitempty"`
 	// Samples is the number of timed batches behind Spread.
 	Samples int `json:"samples,omitempty"`
+	// Sim carries the simulated machine's activity-counter deltas for a
+	// finished experiment (cache hits per level, DRAM accesses, TLB
+	// misses, writebacks, and the simulator's own fast-path hit
+	// counters), keyed "mem_accesses"-style. Only machines
+	// implementing SimStatser produce it; zero-valued counters are
+	// omitted. The counters live on events, not on result entries, so
+	// the results database stays byte-identical regardless of
+	// instrumentation.
+	Sim map[string]int64 `json:"sim,omitempty"`
 }
 
 // EventSink receives suite-lifecycle events. Implementations must be

@@ -232,40 +232,55 @@ func ExtStream(ctx context.Context, m Machine, opts Options) ([]results.Entry, e
 
 // ExtMemVariants measures dirty-read and write latency next to the
 // clean read chase, at a line-defeating stride across sizes, and
-// reports the memory-plateau values.
+// reports the memory-plateau values. Like MemLatencySweep, every point
+// starts from cold caches, so the (variant × size) grid shards across
+// cloned machines byte-identically.
 func ExtMemVariants(ctx context.Context, m Machine, opts Options) ([]results.Entry, error) {
 	opts, err := opts.Normalize()
 	if err != nil {
 		return nil, err
 	}
-	ext, ok := m.Mem().(MemExtOps)
-	if !ok {
+	if _, ok := m.Mem().(MemExtOps); !ok {
 		return nil, fmt.Errorf("memvar: %w", ErrUnsupported)
 	}
-	mem := m.Mem()
-	region, err := mem.Alloc(opts.MaxChaseSize)
-	if err != nil {
-		return nil, err
-	}
 	const stride = 128
-	var out []results.Entry
-	for _, v := range []ChaseVariant{ChaseClean, ChaseDirty, ChaseWrite} {
-		variant := v
-		var series []results.Point
+	variants := []ChaseVariant{ChaseClean, ChaseDirty, ChaseWrite}
+	type point struct {
+		variant ChaseVariant
+		size    int64
+	}
+	var pts []point
+	perVariant := 0
+	for _, v := range variants {
+		n := 0
 		for size := int64(4 << 10); size <= opts.MaxChaseSize; size *= 2 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
+			pts = append(pts, point{v, size})
+			n++
+		}
+		perVariant = n
+	}
+	series := make([]results.Point, len(pts))
+	setup := func(m Machine) (func(context.Context, int) error, error) {
+		mem := m.Mem()
+		ext := mem.(MemExtOps)
+		region, err := mem.Alloc(opts.MaxChaseSize)
+		if err != nil {
+			return nil, err
+		}
+		clock := m.Clock()
+		overhead := mem.LoadOverheadNS()
+		return func(ctx context.Context, i int) error {
+			p := pts[i]
 			if err := mem.FlushCaches(); err != nil && !IsUnsupported(err) {
-				return nil, err
+				return err
 			}
-			ch, err := ext.NewChaseVariant(region, size, stride, variant)
+			ch, err := ext.NewChaseVariant(region, p.size, stride, p.variant)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			lap := ch.Length()
 			if err := ch.Walk(lap); err != nil {
-				return nil, err
+				return err
 			}
 			loads := 2 * lap
 			if loads < 4096 {
@@ -274,25 +289,33 @@ func ExtMemVariants(ctx context.Context, m Machine, opts Options) ([]results.Ent
 			if loads > 1<<20 {
 				loads = 1 << 20
 			}
-			best, err := timing.MinOnce(m.Clock(), 2, func() error { return ch.Walk(loads) })
+			best, err := timing.MinOnce(clock, 2, func() error { return ch.Walk(loads) })
 			if err != nil {
-				return nil, err
+				return err
 			}
-			ns := best.DivN(loads).Nanoseconds() - mem.LoadOverheadNS()
+			ns := best.DivN(loads).Nanoseconds() - overhead
 			if ns < 0 {
 				ns = 0
 			}
-			series = append(series, results.Point{X: float64(size), X2: stride, Y: ns})
-		}
+			series[i] = results.Point{X: float64(p.size), X2: stride, Y: ns}
+			return nil
+		}, nil
+	}
+	if err := runSweep(ctx, m, opts.SweepShards, len(pts), setup); err != nil {
+		return nil, err
+	}
+	var out []results.Entry
+	for vi, variant := range variants {
+		vs := series[vi*perVariant : (vi+1)*perVariant]
 		name := "lat_mem_rd_" + variant.String()
 		if variant == ChaseWrite {
 			name = "lat_mem_wr"
 		}
 		out = append(out, results.Entry{
-			Benchmark: name, Machine: m.Name(), Unit: "ns", Series: series,
+			Benchmark: name, Machine: m.Name(), Unit: "ns", Series: vs,
 		})
 		// The memory plateau: the largest-size point.
-		out = append(out, entry(m, name+".mem", "ns", series[len(series)-1].Y, nil))
+		out = append(out, entry(m, name+".mem", "ns", vs[len(vs)-1].Y, nil))
 	}
 	return out, nil
 }

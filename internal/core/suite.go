@@ -323,11 +323,20 @@ func (s *Suite) runExperiment(ctx context.Context, sink EventSink, exp Experimen
 	if s.MaxRSD > 0 && s.QualityRetries == 0 {
 		qualityLeft = 2
 	}
-	ev := func(kind EventKind, attempt int, dur time.Duration, entries int, err error, q qualitySummary) {
+	// One recorder serves every attempt of this experiment: Reset keeps
+	// the backing storage, so re-measurements (retries, the quality
+	// gate's re-runs) record into already-grown slices instead of
+	// reallocating them.
+	var rec *timing.Recorder
+	if s.MaxRSD > 0 {
+		rec = &timing.Recorder{}
+	}
+	ev := func(kind EventKind, attempt int, dur time.Duration, entries int, err error, q qualitySummary, sim map[string]int64) {
 		e := Event{
 			Kind: kind, Time: time.Now(), Machine: s.M.Name(),
 			Experiment: exp.ID, Title: exp.Title,
 			Attempt: attempt, Duration: dur, Entries: entries,
+			Sim: sim,
 		}
 		if err != nil {
 			e.Err = err.Error()
@@ -339,31 +348,31 @@ func (s *Suite) runExperiment(ctx context.Context, sink EventSink, exp Experimen
 		sink.Event(e)
 	}
 	for attempt := 1; ; attempt++ {
-		ev(ExperimentStarted, attempt, 0, 0, nil, qualitySummary{})
+		ev(ExperimentStarted, attempt, 0, 0, nil, qualitySummary{}, nil)
 		start := time.Now()
-		entries, q, err := s.attempt(ctx, exp, opts)
+		entries, q, sim, err := s.attempt(ctx, exp, opts, rec)
 		dur := time.Since(start)
 		switch {
 		case err == nil:
 			if s.MaxRSD > 0 && q.Measurements > 0 && q.WorstSpread > s.MaxRSD && qualityLeft > 0 {
 				// Too noisy: reject the measurement and try again.
 				qualityLeft--
-				ev(ExperimentQuality, attempt, dur, len(entries), nil, q)
+				ev(ExperimentQuality, attempt, dur, len(entries), nil, q, nil)
 				continue
 			}
 			if s.MaxRSD > 0 && q.Measurements > 0 {
 				stampQuality(entries, q, q.WorstSpread > s.MaxRSD)
 			}
-			ev(ExperimentFinished, attempt, dur, len(entries), nil, q)
+			ev(ExperimentFinished, attempt, dur, len(entries), nil, q, sim)
 			return entries, nil
 		case IsUnsupported(err):
-			ev(ExperimentSkipped, attempt, dur, 0, err, qualitySummary{})
+			ev(ExperimentSkipped, attempt, dur, 0, err, qualitySummary{}, nil)
 			return nil, err
 		case ctx.Err() != nil || attempt >= maxAttempts:
-			ev(ExperimentFailed, attempt, dur, 0, err, qualitySummary{})
+			ev(ExperimentFailed, attempt, dur, 0, err, qualitySummary{}, nil)
 			return nil, err
 		}
-		ev(ExperimentRetried, attempt, dur, 0, err, qualitySummary{})
+		ev(ExperimentRetried, attempt, dur, 0, err, qualitySummary{}, nil)
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
@@ -376,10 +385,12 @@ func (s *Suite) runExperiment(ctx context.Context, sink EventSink, exp Experimen
 // attempt runs exp once under the per-experiment deadline, holding the
 // wall-clock mutex when the machine measures real time and binding the
 // context into the backend's blocking primitives when it can accept
-// one. When the quality gate is enabled, a measurement recorder rides
-// on the context and the attempt's sample statistics are summarized
-// for the gate.
-func (s *Suite) attempt(ctx context.Context, exp Experiment, opts Options) ([]results.Entry, qualitySummary, error) {
+// one. When the quality gate is enabled, the caller's recorder rides
+// on the context (reset first, keeping its storage) and the attempt's
+// sample statistics are summarized for the gate. On simulated machines
+// the returned map carries the experiment's activity-counter delta
+// (SimStatser) for the event stream.
+func (s *Suite) attempt(ctx context.Context, exp Experiment, opts Options, rec *timing.Recorder) ([]results.Entry, qualitySummary, map[string]int64, error) {
 	if timing.IsRealTime(s.M.Clock()) {
 		wallMu.Lock()
 		defer wallMu.Unlock()
@@ -401,21 +412,38 @@ func (s *Suite) attempt(ctx context.Context, exp Experiment, opts Options) ([]re
 		runCtx, cancel = context.WithCancel(ctx)
 	}
 	defer cancel()
-	var rec *timing.Recorder
-	if s.MaxRSD > 0 {
-		rec = &timing.Recorder{}
+	if rec != nil {
+		rec.Reset()
 		runCtx = timing.WithRecorder(runCtx, rec)
 	}
 	if cb, ok := s.M.(ContextBinder); ok {
 		cb.BindContext(runCtx)
 		defer cb.BindContext(context.Background())
 	}
+	var simBefore map[string]int64
+	ss, hasSim := s.M.(SimStatser)
+	if hasSim {
+		simBefore = ss.SimStats()
+	}
 	entries, err := exp.Run(runCtx, s.M, opts)
 	var q qualitySummary
 	if rec != nil && err == nil {
 		q = summarizeQuality(rec)
 	}
-	return entries, q, err
+	var sim map[string]int64
+	if hasSim && err == nil {
+		after := ss.SimStats()
+		sim = make(map[string]int64, len(after))
+		for k, v := range after {
+			if d := v - simBefore[k]; d != 0 {
+				sim[k] = d
+			}
+		}
+		if len(sim) == 0 {
+			sim = nil
+		}
+	}
+	return entries, q, sim, err
 }
 
 // qualitySummary condenses the measurements of one attempt for the

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// This file implements sharded point sweeps. The Figure-1 (size ×
+// stride) and §7 memory-variant sweeps measure many independent points:
+// each point begins with FlushCaches, so its value depends only on the
+// machine and the point, never on which points ran before it on the
+// same machine. That independence lets workers evaluate disjoint point
+// subsets on cloned machines (core.Cloner) while results assemble into
+// a dense, sweep-ordered slice — the PR-1 parallel==serial merge
+// pattern applied inside one experiment. A sharded sweep therefore
+// encodes byte-identically to a serial one, which TestShardedSweep
+// asserts under the race detector.
+
+// sweepWorkers decides how many workers a sweep of n points uses under
+// the given shard request on machine m.
+func sweepWorkers(m Machine, shards, n int) int {
+	if shards <= 1 || n <= 1 {
+		return 1
+	}
+	if _, ok := m.(Cloner); !ok {
+		return 1
+	}
+	if shards > n {
+		shards = n
+	}
+	return shards
+}
+
+// runSweep evaluates points 0..n-1. setup prepares one machine for the
+// sweep (allocations, probes) and returns the point evaluator, which
+// writes its result into a caller-owned slot for its index — slots are
+// disjoint across points, so no locking is needed. Serial runs reuse m
+// directly; sharded runs give each extra worker a fresh clone. The
+// evaluator must make each point self-contained (the sweeps do so by
+// flushing caches first).
+func runSweep(ctx context.Context, m Machine, shards, n int, setup func(Machine) (func(context.Context, int) error, error)) error {
+	workers := sweepWorkers(m, shards, n)
+	if workers == 1 {
+		run, err := setup(m)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := run(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	mach := make([]Machine, workers)
+	mach[0] = m
+	cl := m.(Cloner)
+	for w := 1; w < workers; w++ {
+		c, err := cl.Clone()
+		if err != nil {
+			return fmt.Errorf("core: sweep clone: %w", err)
+		}
+		mach[w] = c
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(mm Machine) {
+			defer wg.Done()
+			run, err := setup(mm)
+			if err != nil {
+				cancel()
+			}
+			for i := range jobs {
+				switch {
+				case err != nil:
+					errs[i] = err
+				case runCtx.Err() != nil:
+					errs[i] = runCtx.Err()
+				default:
+					if e := run(runCtx, i); e != nil {
+						errs[i] = e
+						cancel()
+					}
+				}
+			}
+		}(mach[w])
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	// Report the failure a serial run would hit first: the lowest-index
+	// real error; cancellations caused by a later point's failure rank
+	// behind it.
+	var firstErr, firstCancel error
+	for i := 0; i < n; i++ {
+		switch {
+		case errs[i] == nil:
+		case errors.Is(errs[i], context.Canceled) && ctx.Err() == nil:
+			if firstCancel == nil {
+				firstCancel = errs[i]
+			}
+		default:
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return firstCancel
+}

@@ -299,6 +299,18 @@ func (f *Machine) Reset() {
 	}
 }
 
+// SimStats implements core.SimStatser by forwarding to the wrapped
+// machine, so chaos runs keep their activity counters in the event
+// stream. Clone is deliberately NOT forwarded: a clone's relationship
+// to the plan's continuous fault history is undefined, so fault-wrapped
+// machines run their sweeps serially.
+func (f *Machine) SimStats() map[string]int64 {
+	if ss, ok := f.inner.(core.SimStatser); ok {
+		return ss.SimStats()
+	}
+	return nil
+}
+
 // Stats returns a snapshot of the injection counters.
 func (f *Machine) Stats() Stats {
 	f.mu.Lock()

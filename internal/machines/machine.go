@@ -60,6 +60,8 @@ type Machine struct {
 
 var _ core.Machine = (*Machine)(nil)
 var _ core.Resetter = (*Machine)(nil)
+var _ core.Cloner = (*Machine)(nil)
+var _ core.SimStatser = (*Machine)(nil)
 
 // Reset implements core.Resetter: it restores the machine's pristine
 // post-build state — caches and TLB cold, the bump heap rewound to its
@@ -89,6 +91,36 @@ func (m *Machine) Reset() {
 	if m.diskOps != nil {
 		m.diskOps.pos = 0
 	}
+}
+
+// SimStats implements core.SimStatser: a snapshot of the memory
+// hierarchy's cumulative activity counters. The suite diffs two
+// snapshots around an experiment and attaches the delta to the
+// experiment's finished event — observability that never touches the
+// results database, so the byte-identity guarantees are unaffected.
+func (m *Machine) SimStats() map[string]int64 {
+	st := m.mem.Stats()
+	sim := map[string]int64{
+		"mem_accesses": st.MemAccesses,
+		"tlb_misses":   st.TLBMisses,
+		"writebacks":   st.Writebacks,
+		"mru_hits":     st.MRUHits,
+		"index_hits":   st.IndexHits,
+	}
+	for i, h := range st.Hits {
+		sim[fmt.Sprintf("l%d_hits", i+1)] = h
+	}
+	return sim
+}
+
+// Clone implements core.Cloner by rebuilding the profile from scratch.
+// Build is deterministic, so the clone allocates the same simulated
+// addresses in the same order and charges the same costs as the
+// original would from its pristine state — exactly the state the suite
+// establishes (via Reset) before every experiment. Sharded sweeps rely
+// on this to produce results byte-identical to a serial run.
+func (m *Machine) Clone() (core.Machine, error) {
+	return Build(m.profile)
 }
 
 // Name returns the profile name.

@@ -16,6 +16,7 @@ package simmem
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"repro/internal/ptime"
@@ -134,13 +135,60 @@ type line struct {
 	lru   uint64
 }
 
-// cache is one level's state.
+// fullyAssocMin is the smallest single-set associativity at which the
+// cache switches from way scans to the O(1) probe structures (a tag→way
+// index plus an intrusive exact-LRU list). Below it a scan over the few
+// ways is cheaper than map traffic.
+const fullyAssocMin = 8
+
+// cache is one level's state. lines[] is always the ground truth for
+// tag/valid/dirty; the two probe modes differ only in how a way is
+// found and how recency is ordered:
+//
+//   - Set-associative mode (nsets > 1, or a single small set): the
+//     original linear way scan, accelerated by a per-set MRU way hint —
+//     the paper's workloads (pointer chases, streaming loops) re-touch
+//     the same line repeatedly, so the hint hits almost always. Recency
+//     is the per-line lru tick, exactly as before; the scan path is
+//     byte-for-byte the seed algorithm, so victim choice is unchanged.
+//
+//   - Fully-associative mode (one set with >= fullyAssocMin ways — the
+//     TLB on most profiles): a tag→way map finds the line in O(1) and
+//     an intrusive doubly-linked list keeps exact LRU order. Because
+//     every lru tick in the scan algorithm is unique, "smallest tick"
+//     and "tail of a move-to-front list" name the same line, and free
+//     ways are observably interchangeable (only the set of resident
+//     {tag, dirty, recency-order} matters), so victim choice is
+//     preserved bit-for-bit.
 type cache struct {
 	cfg   CacheConfig
 	assoc int
 	nsets uint64
 	lines []line // sets * assoc, laid out set-major
 	tick  uint64
+
+	// mru[s] is the way of set s most recently hit or filled
+	// (set-associative mode only).
+	mru []uint32
+
+	// Fully-associative mode state.
+	full  bool
+	idx   map[uint64]int32 // tag -> way
+	prevW []int32          // intrusive LRU list: towards MRU
+	nextW []int32          // towards LRU
+	headW int32            // MRU way, -1 when empty
+	tailW int32            // LRU way, -1 when empty
+	freeW []int32          // invalid ways, popped from the end
+
+	// Fast-path effectiveness counters (surfaced via Stats).
+	mruHits int64
+	idxHits int64
+
+	// Power-of-two geometry (the universal case) turns setFor's divide
+	// and modulo into a shift and mask — same arithmetic, same result.
+	pow2      bool
+	lineShift uint32
+	setMask   uint64
 }
 
 func newCache(cfg CacheConfig) (*cache, error) {
@@ -159,24 +207,136 @@ func newCache(cfg CacheConfig) (*cache, error) {
 	if nsets <= 0 {
 		nsets = 1
 	}
-	return &cache{
+	c := &cache{
 		cfg:   cfg,
 		assoc: assoc,
 		nsets: uint64(nsets),
 		lines: make([]line, uint64(assoc)*uint64(nsets)),
-	}, nil
+	}
+	if ls, ns := uint64(cfg.LineSize), uint64(nsets); ls&(ls-1) == 0 && ns&(ns-1) == 0 {
+		c.pow2 = true
+		c.lineShift = uint32(bits.TrailingZeros64(ls))
+		c.setMask = ns - 1
+	}
+	if nsets == 1 && assoc >= fullyAssocMin {
+		c.full = true
+		c.idx = make(map[uint64]int32, assoc)
+		c.prevW = make([]int32, assoc)
+		c.nextW = make([]int32, assoc)
+		c.headW, c.tailW = -1, -1
+		c.freeW = make([]int32, 0, assoc)
+		c.resetFree()
+	} else {
+		c.mru = make([]uint32, nsets)
+	}
+	return c, nil
+}
+
+// resetFree refills the free-way stack so ways are handed out in
+// ascending order; with the seed's "last invalid way wins" rule any
+// consistent order is observably equivalent, since a way index is never
+// visible outside the cache.
+func (c *cache) resetFree() {
+	c.freeW = c.freeW[:0]
+	for i := c.assoc - 1; i >= 0; i-- {
+		c.freeW = append(c.freeW, int32(i))
+	}
 }
 
 func (c *cache) setFor(addr uint64) (uint64, uint64) {
+	if c.pow2 {
+		lineAddr := addr >> c.lineShift
+		return lineAddr & c.setMask, lineAddr
+	}
 	lineAddr := addr / uint64(c.cfg.LineSize)
 	return lineAddr % c.nsets, lineAddr
+}
+
+// unlink removes way w from the LRU list.
+func (c *cache) unlink(w int32) {
+	if c.prevW[w] >= 0 {
+		c.nextW[c.prevW[w]] = c.nextW[w]
+	} else {
+		c.headW = c.nextW[w]
+	}
+	if c.nextW[w] >= 0 {
+		c.prevW[c.nextW[w]] = c.prevW[w]
+	} else {
+		c.tailW = c.prevW[w]
+	}
+}
+
+// pushFront makes way w the MRU; w must not be in the list.
+func (c *cache) pushFront(w int32) {
+	c.prevW[w] = -1
+	c.nextW[w] = c.headW
+	if c.headW >= 0 {
+		c.prevW[c.headW] = w
+	}
+	c.headW = w
+	if c.tailW < 0 {
+		c.tailW = w
+	}
+}
+
+// moveToFront refreshes way w's recency.
+func (c *cache) moveToFront(w int32) {
+	if c.headW == w {
+		return
+	}
+	c.unlink(w)
+	c.pushFront(w)
 }
 
 // lookup probes for addr; on hit it refreshes LRU (and optionally marks
 // dirty) and returns true.
 func (c *cache) lookup(addr uint64, markDirty bool) bool {
 	set, tag := c.setFor(addr)
+	if c.full {
+		// MRU short-circuit: the list head is the most recent touch, so
+		// a repeat access (the common case in chases and streams) skips
+		// the map and the move-to-front is a no-op.
+		if w := c.headW; w >= 0 && c.lines[w].tag == tag {
+			c.mruHits++
+			if markDirty {
+				c.lines[w].dirty = true
+			}
+			return true
+		}
+		w, ok := c.idx[tag]
+		if !ok {
+			return false
+		}
+		c.idxHits++
+		c.moveToFront(w)
+		if markDirty {
+			c.lines[w].dirty = true
+		}
+		return true
+	}
+	if c.assoc == 1 {
+		// Direct-mapped: one way to check, no hint or scan needed.
+		l := &c.lines[set]
+		if l.valid && l.tag == tag {
+			c.tick++
+			l.lru = c.tick
+			if markDirty {
+				l.dirty = true
+			}
+			return true
+		}
+		return false
+	}
 	base := set * uint64(c.assoc)
+	if l := &c.lines[base+uint64(c.mru[set])]; l.valid && l.tag == tag {
+		c.mruHits++
+		c.tick++
+		l.lru = c.tick
+		if markDirty {
+			l.dirty = true
+		}
+		return true
+	}
 	for i := uint64(0); i < uint64(c.assoc); i++ {
 		l := &c.lines[base+i]
 		if l.valid && l.tag == tag {
@@ -185,6 +345,7 @@ func (c *cache) lookup(addr uint64, markDirty bool) bool {
 			if markDirty {
 				l.dirty = true
 			}
+			c.mru[set] = uint32(i)
 			return true
 		}
 	}
@@ -195,6 +356,30 @@ func (c *cache) lookup(addr uint64, markDirty bool) bool {
 // the evicted line's address and whether it was valid and dirty.
 func (c *cache) insert(addr uint64, dirty bool) (evictedAddr uint64, evictedDirty, evictedValid bool) {
 	set, tag := c.setFor(addr)
+	if c.full {
+		return c.insertFull(tag, dirty)
+	}
+	if c.assoc == 1 {
+		// Direct-mapped: the set's one way is the victim; semantics are
+		// the general loop's, shorn of the scan.
+		v := &c.lines[set]
+		if v.valid && v.tag == tag {
+			c.tick++
+			v.lru = c.tick
+			if dirty {
+				v.dirty = true
+			}
+			return 0, false, false
+		}
+		if v.valid {
+			evictedAddr = v.tag * uint64(c.cfg.LineSize)
+			evictedDirty = v.dirty
+			evictedValid = true
+		}
+		c.tick++
+		*v = line{tag: tag, valid: true, dirty: dirty, lru: c.tick}
+		return evictedAddr, evictedDirty, evictedValid
+	}
 	base := set * uint64(c.assoc)
 	victim := base
 	for i := uint64(0); i < uint64(c.assoc); i++ {
@@ -206,6 +391,7 @@ func (c *cache) insert(addr uint64, dirty bool) (evictedAddr uint64, evictedDirt
 			if dirty {
 				l.dirty = true
 			}
+			c.mru[set] = uint32(i)
 			return 0, false, false
 		}
 		if !l.valid {
@@ -222,6 +408,38 @@ func (c *cache) insert(addr uint64, dirty bool) (evictedAddr uint64, evictedDirt
 	}
 	c.tick++
 	*v = line{tag: tag, valid: true, dirty: dirty, lru: c.tick}
+	c.mru[set] = uint32(victim - base)
+	return evictedAddr, evictedDirty, evictedValid
+}
+
+// insertFull is insert for the fully-associative mode: the victim is
+// a free way when one exists, else the exact-LRU tail — the same line
+// the seed's min-tick scan would pick.
+func (c *cache) insertFull(tag uint64, dirty bool) (evictedAddr uint64, evictedDirty, evictedValid bool) {
+	if w, ok := c.idx[tag]; ok {
+		// Already present (refill race); refresh.
+		c.moveToFront(w)
+		if dirty {
+			c.lines[w].dirty = true
+		}
+		return 0, false, false
+	}
+	var w int32
+	if n := len(c.freeW); n > 0 {
+		w = c.freeW[n-1]
+		c.freeW = c.freeW[:n-1]
+	} else {
+		w = c.tailW
+		v := &c.lines[w]
+		evictedAddr = v.tag * uint64(c.cfg.LineSize)
+		evictedDirty = v.dirty
+		evictedValid = true
+		delete(c.idx, v.tag)
+		c.unlink(w)
+	}
+	c.lines[w] = line{tag: tag, valid: true, dirty: dirty}
+	c.idx[tag] = w
+	c.pushFront(w)
 	return evictedAddr, evictedDirty, evictedValid
 }
 
@@ -229,6 +447,18 @@ func (c *cache) insert(addr uint64, dirty bool) (evictedAddr uint64, evictedDirt
 // present and dirty (back-invalidation for strict inclusion).
 func (c *cache) invalidate(addr uint64) (wasValid, wasDirty bool) {
 	set, tag := c.setFor(addr)
+	if c.full {
+		w, ok := c.idx[tag]
+		if !ok {
+			return false, false
+		}
+		wasDirty = c.lines[w].dirty
+		delete(c.idx, tag)
+		c.unlink(w)
+		c.lines[w] = line{}
+		c.freeW = append(c.freeW, w)
+		return true, wasDirty
+	}
 	base := set * uint64(c.assoc)
 	for i := uint64(0); i < uint64(c.assoc); i++ {
 		l := &c.lines[base+i]
@@ -245,6 +475,14 @@ func (c *cache) invalidate(addr uint64) (wasValid, wasDirty bool) {
 // LRU age (a victim writeback is not a demand use). Reports presence.
 func (c *cache) writeback(addr uint64) bool {
 	set, tag := c.setFor(addr)
+	if c.full {
+		w, ok := c.idx[tag]
+		if !ok {
+			return false
+		}
+		c.lines[w].dirty = true
+		return true
+	}
 	base := set * uint64(c.assoc)
 	for i := uint64(0); i < uint64(c.assoc); i++ {
 		l := &c.lines[base+i]
@@ -259,6 +497,15 @@ func (c *cache) writeback(addr uint64) bool {
 func (c *cache) flush() {
 	for i := range c.lines {
 		c.lines[i] = line{}
+	}
+	if c.full {
+		clear(c.idx)
+		c.headW, c.tailW = -1, -1
+		c.resetFree()
+	} else {
+		for i := range c.mru {
+			c.mru[i] = 0
+		}
 	}
 }
 
@@ -298,6 +545,13 @@ type Stats struct {
 	TLBMisses int64
 	// Writebacks counts dirty lines retired to DRAM.
 	Writebacks int64
+	// MRUHits counts probes answered by a set's MRU-way hint without
+	// scanning (set-associative levels) — fast-path effectiveness, not a
+	// cost-model quantity.
+	MRUHits int64
+	// IndexHits counts probes answered by the tag→way index of a
+	// fully-associative level or the TLB.
+	IndexHits int64
 }
 
 // Hierarchy is the assembled memory system. All methods charge
@@ -320,6 +574,19 @@ type Hierarchy struct {
 	memWB    ptime.Duration
 	tlbMiss  ptime.Duration
 	loadInst ptime.Duration // one cycle for the load itself
+
+	// Precomputed streaming-loop quantities (the chunk geometry is fixed
+	// at construction, so the per-chunk instruction issue times are too).
+	chunk      int64
+	chunkWords int64
+	readIssue  ptime.Duration
+	writeIssue ptime.Duration
+	copyIssue  ptime.Duration
+
+	// tlbHoistStreams is the largest number of interleaved sequential
+	// streams for which probing the TLB once per page is provably
+	// identical to probing once per chunk; see hoistStreams.
+	tlbHoistStreams int
 }
 
 // New assembles a Hierarchy charging time through cpu.
@@ -351,7 +618,42 @@ func New(cpu *sim.CPU, cfg Config) (*Hierarchy, error) {
 	}
 	h.tlb = t
 	h.stats.Hits = make([]int64, len(h.caches))
+	h.chunk = h.chunkSize()
+	h.chunkWords = h.chunk / int64(cfg.WordSize)
+	if h.chunkWords < 1 {
+		h.chunkWords = 1
+	}
+	h.readIssue = cpu.OpTime(h.chunkWords * int64(cfg.ReadOpsPerWord))
+	h.writeIssue = cpu.OpTime(h.chunkWords * int64(cfg.WriteOpsPerWord))
+	h.copyIssue = cpu.OpTime(h.chunkWords * int64(cfg.CopyOpsPerWord))
+	h.tlbHoistStreams = h.hoistStreams()
 	return h, nil
+}
+
+// hoistStreams bounds how many sequential streams may share the
+// once-per-page TLB-probe optimization. Within one page run a stream's
+// entry must be guaranteed to survive the other streams' probes, so
+// that every probe the optimization skips would have been a pure
+// LRU-refreshing hit. Streams advance one chunk per iteration, so while
+// stream s stays on one page each other stream touches at most two
+// distinct pages (its own page boundary may cross once):
+//
+//   - set-associative TLB with nsets >= 2: two consecutive pages land
+//     in different sets, so at most one page per other stream shares
+//     s's set — n streams co-reside when assoc >= n;
+//   - single-set TLB (fully associative or degenerate): all pages
+//     compete, so 2(n-1)+1 entries must fit — n <= (ways+1)/2.
+//
+// Without a TLB every probe is free and the bound is moot.
+func (h *Hierarchy) hoistStreams() int {
+	if h.tlb == nil {
+		return 1 << 30
+	}
+	c := h.tlb.c
+	if c.nsets == 1 {
+		return (c.assoc + 1) / 2
+	}
+	return c.assoc
 }
 
 // Config returns the (defaulted) configuration.
@@ -372,16 +674,32 @@ func (h *Hierarchy) PageSize() int64 {
 // CPU returns the processor model this hierarchy charges issue time to.
 func (h *Hierarchy) CPU() *sim.CPU { return h.cpu }
 
-// Stats returns a copy of the accumulated counters.
+// Stats returns a copy of the accumulated counters. The fast-path
+// counters (MRUHits, IndexHits) are aggregated across every cache level
+// and the TLB at call time.
 func (h *Hierarchy) Stats() Stats {
 	s := h.stats
 	s.Hits = append([]int64(nil), h.stats.Hits...)
+	for _, c := range h.caches {
+		s.MRUHits += c.mruHits
+		s.IndexHits += c.idxHits
+	}
+	if h.tlb != nil {
+		s.MRUHits += h.tlb.c.mruHits
+		s.IndexHits += h.tlb.c.idxHits
+	}
 	return s
 }
 
 // ResetStats zeroes the counters.
 func (h *Hierarchy) ResetStats() {
 	h.stats = Stats{Hits: make([]int64, len(h.caches))}
+	for _, c := range h.caches {
+		c.mruHits, c.idxHits = 0, 0
+	}
+	if h.tlb != nil {
+		h.tlb.c.mruHits, h.tlb.c.idxHits = 0, 0
+	}
 }
 
 // Alloc reserves size bytes of simulated physical memory and returns the
@@ -537,10 +855,11 @@ func (h *Hierarchy) level(addr uint64, markDirty bool) int {
 	return -1
 }
 
-// Load performs one back-to-back dependent load. It charges the
-// servicing level's latency plus one cycle for the load instruction
-// (the paper's reported latencies exclude that cycle; see LoadReportNS).
-func (h *Hierarchy) Load(addr uint64) {
+// loadCost computes one back-to-back dependent load's cost without
+// touching the clock, so hot loops (Chase.Walk) can sum many loads and
+// advance once. The virtual clock is an exact integer picosecond count,
+// so the batched sum equals the per-load sequence bit-for-bit.
+func (h *Hierarchy) loadCost(addr uint64) ptime.Duration {
 	cost := h.loadInst
 	cost += h.tlbAccess(addr)
 	lvl := h.level(addr, false)
@@ -561,7 +880,14 @@ func (h *Hierarchy) Load(addr uint64) {
 		// them).
 		cost += h.fillUpper(addr, len(h.caches)-1, false)
 	}
-	h.clk.Advance(cost)
+	return cost
+}
+
+// Load performs one back-to-back dependent load. It charges the
+// servicing level's latency plus one cycle for the load instruction
+// (the paper's reported latencies exclude that cycle; see LoadReportNS).
+func (h *Hierarchy) Load(addr uint64) {
+	h.clk.Advance(h.loadCost(addr))
 }
 
 // LoadInstTime returns the one-cycle load-instruction overhead that the
@@ -570,8 +896,8 @@ func (h *Hierarchy) Load(addr uint64) {
 // instruction in one processor cycle").
 func (h *Hierarchy) LoadInstTime() ptime.Duration { return h.loadInst }
 
-// Store performs one store with write-allocate semantics.
-func (h *Hierarchy) Store(addr uint64) {
+// storeCost is the store-path twin of loadCost.
+func (h *Hierarchy) storeCost(addr uint64) ptime.Duration {
 	cost := h.loadInst
 	cost += h.tlbAccess(addr)
 	lvl := h.level(addr, true)
@@ -587,5 +913,10 @@ func (h *Hierarchy) Store(addr uint64) {
 		h.stats.Hits[0]++
 		cost += h.latency[0]
 	}
-	h.clk.Advance(cost)
+	return cost
+}
+
+// Store performs one store with write-allocate semantics.
+func (h *Hierarchy) Store(addr uint64) {
+	h.clk.Advance(h.storeCost(addr))
 }

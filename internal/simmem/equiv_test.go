@@ -1,0 +1,194 @@
+package simmem
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// refCache is an independent reference model of the cache with the
+// seed's observable semantics, written as the obvious O(assoc) scans:
+// exact per-set LRU on valid lines, no eviction while a set has an
+// invalid way, sticky dirty bits, writeback marking dirty without an
+// LRU refresh. The optimized cache (MRU hints, tag→way index, intrusive
+// recency list, pow2 set arithmetic, direct-mapped fast paths) must be
+// indistinguishable from it on every observable of a random trace —
+// that is the unit-level half of the byte-identity guarantee.
+type refCache struct {
+	nsets, assoc int
+	lineSize     uint64
+	valid, dirty [][]bool
+	tag          [][]uint64
+	stamp        [][]uint64
+	tick         uint64
+}
+
+func newRefCache(size, lineSize, assoc int) *refCache {
+	lines := size / lineSize
+	if assoc <= 0 || assoc > lines {
+		assoc = lines
+	}
+	nsets := lines / assoc
+	r := &refCache{nsets: nsets, assoc: assoc, lineSize: uint64(lineSize)}
+	for s := 0; s < nsets; s++ {
+		r.valid = append(r.valid, make([]bool, assoc))
+		r.dirty = append(r.dirty, make([]bool, assoc))
+		r.tag = append(r.tag, make([]uint64, assoc))
+		r.stamp = append(r.stamp, make([]uint64, assoc))
+	}
+	return r
+}
+
+func (r *refCache) setFor(addr uint64) (int, uint64) {
+	line := addr / r.lineSize
+	return int(line % uint64(r.nsets)), line / uint64(r.nsets)
+}
+
+func (r *refCache) lookup(addr uint64, markDirty bool) bool {
+	set, tag := r.setFor(addr)
+	for w := 0; w < r.assoc; w++ {
+		if r.valid[set][w] && r.tag[set][w] == tag {
+			r.tick++
+			r.stamp[set][w] = r.tick
+			if markDirty {
+				r.dirty[set][w] = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (r *refCache) insert(addr uint64, dirty bool) (evictedDirty, evictedValid bool) {
+	set, tag := r.setFor(addr)
+	// Refresh, not evict, if the tag is already resident.
+	for w := 0; w < r.assoc; w++ {
+		if r.valid[set][w] && r.tag[set][w] == tag {
+			r.tick++
+			r.stamp[set][w] = r.tick
+			r.dirty[set][w] = r.dirty[set][w] || dirty
+			return false, false
+		}
+	}
+	victim, haveInvalid := 0, false
+	for w := 0; w < r.assoc; w++ {
+		if !r.valid[set][w] {
+			victim, haveInvalid = w, true
+			break
+		}
+	}
+	if !haveInvalid {
+		for w := 1; w < r.assoc; w++ {
+			if r.stamp[set][w] < r.stamp[set][victim] {
+				victim = w
+			}
+		}
+		evictedDirty, evictedValid = r.dirty[set][victim], true
+	}
+	r.tick++
+	r.valid[set][victim] = true
+	r.dirty[set][victim] = dirty
+	r.tag[set][victim] = tag
+	r.stamp[set][victim] = r.tick
+	return evictedDirty, evictedValid
+}
+
+func (r *refCache) invalidate(addr uint64) (wasValid, wasDirty bool) {
+	set, tag := r.setFor(addr)
+	for w := 0; w < r.assoc; w++ {
+		if r.valid[set][w] && r.tag[set][w] == tag {
+			r.valid[set][w] = false
+			return true, r.dirty[set][w]
+		}
+	}
+	return false, false
+}
+
+func (r *refCache) writeback(addr uint64) bool {
+	set, tag := r.setFor(addr)
+	for w := 0; w < r.assoc; w++ {
+		if r.valid[set][w] && r.tag[set][w] == tag {
+			r.dirty[set][w] = true
+			return true
+		}
+	}
+	return false
+}
+
+// TestCacheMatchesReferenceModel drives the optimized cache and the
+// reference model through identical random traces of every operation
+// and demands identical observables at every step, across the
+// geometries that exercise every fast path: direct-mapped, the MRU-hint
+// scan, and both fully-associative modes (list + index above the
+// fullyAssocMin threshold, plain scan below it via a sub-threshold
+// associativity).
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	geoms := []struct {
+		name              string
+		size, line, assoc int
+	}{
+		{"direct", 4096, 32, 1},
+		{"2way", 4096, 32, 2},
+		{"4way", 8192, 64, 4},
+		{"fullyassoc", 16 * 32, 32, 0},      // 16 ways: list + index mode
+		{"fullyassoc-odd", 8 * 48, 48, 0},   // full mode, non-pow2 line size
+		{"fullyassoc-small", 4 * 32, 32, 0}, // below fullyAssocMin: plain scan
+		{"nonpow2-sets", 3 * 4 * 32, 32, 4},
+	}
+	for _, g := range geoms {
+		t.Run(g.name, func(t *testing.T) {
+			c, err := newCache(CacheConfig{Name: "t", Size: int64(g.size), LineSize: g.line, Assoc: g.assoc})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := newRefCache(g.size, g.line, g.assoc)
+			rng := rand.New(rand.NewSource(int64(g.size) ^ int64(g.assoc)<<7))
+			// Addresses drawn from ~4x the cache size force a steady
+			// mix of hits, misses, refreshes and evictions.
+			span := uint64(4*g.size) / uint64(g.line)
+			for step := 0; step < 20000; step++ {
+				addr := (rng.Uint64() % span) * uint64(g.line)
+				addr += rng.Uint64() % uint64(g.line) // sub-line offset
+				ctx := fmt.Sprintf("step %d addr %#x", step, addr)
+				switch op := rng.Intn(10); {
+				case op < 5: // lookup, sometimes marking dirty
+					md := rng.Intn(2) == 0
+					if got, want := c.lookup(addr, md), ref.lookup(addr, md); got != want {
+						t.Fatalf("%s: lookup(md=%v) = %v, want %v", ctx, md, got, want)
+					}
+				case op < 8: // insert, as a fill (clean) or store-allocate (dirty)
+					d := rng.Intn(2) == 0
+					_, gd, gv := c.insert(addr, d)
+					wd, wv := ref.insert(addr, d)
+					if gd != wd || gv != wv {
+						t.Fatalf("%s: insert(dirty=%v) evicted (dirty=%v valid=%v), want (dirty=%v valid=%v)",
+							ctx, d, gd, gv, wd, wv)
+					}
+				case op < 9:
+					gv, gd := c.invalidate(addr)
+					wv, wd := ref.invalidate(addr)
+					if gv != wv || gd != wd {
+						t.Fatalf("%s: invalidate = (%v,%v), want (%v,%v)", ctx, gv, gd, wv, wd)
+					}
+				default:
+					if got, want := c.writeback(addr), ref.writeback(addr); got != want {
+						t.Fatalf("%s: writeback = %v, want %v", ctx, got, want)
+					}
+				}
+			}
+			// Final resident set must agree exactly: every line the
+			// reference holds is in the cache and vice versa.
+			for s := 0; s < ref.nsets; s++ {
+				for w := 0; w < ref.assoc; w++ {
+					if !ref.valid[s][w] {
+						continue
+					}
+					line := ref.tag[s][w]*uint64(ref.nsets) + uint64(s)
+					if !c.contains(line * ref.lineSize) {
+						t.Errorf("reference holds line %#x, cache does not", line*ref.lineSize)
+					}
+				}
+			}
+		})
+	}
+}

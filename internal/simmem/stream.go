@@ -4,6 +4,25 @@ import (
 	"repro/internal/ptime"
 )
 
+// The streaming and pointer-chase loops below are the simulator's hot
+// paths: one call walks megabytes of simulated memory. They are written
+// around two exact-equivalence optimizations (see DESIGN.md
+// "Performance engineering"):
+//
+//   - Batched clock charging: per-access costs accumulate in a local
+//     ptime.Duration and the clock advances once per call. The virtual
+//     clock is an exact integer picosecond counter and no code observes
+//     it mid-call, so the batched sum is bit-identical to per-access
+//     advances.
+//
+//   - Page-granular TLB probing: a sequential stream re-probes the same
+//     TLB entry for every chunk of a page. Immediately re-probing the
+//     most recently touched entry is a guaranteed hit whose LRU
+//     move-to-front is a no-op, so all but the first probe per page are
+//     skipped. With several interleaved streams the skip is applied
+//     only when Hierarchy.tlbHoistStreams proves no stream's entry can
+//     be evicted mid-page (otherwise every chunk probes, as before).
+
 // chunkSize returns the streaming granularity: the first-level line
 // size, or one 64-byte pseudo-line when no caches are configured.
 func (h *Hierarchy) chunkSize() int64 {
@@ -13,11 +32,10 @@ func (h *Hierarchy) chunkSize() int64 {
 	return 64
 }
 
-// streamChunkRead charges one chunk of a streaming read and returns
-// nothing; time goes straight to the clock.
-func (h *Hierarchy) streamChunkRead(addr uint64, words int64) {
-	cost := h.tlbAccess(addr)
-	var memTime ptime.Duration
+// sideReadCost charges the cache-side work of streaming one chunk's
+// read, excluding the TLB probe and the issue/fill overlap; memTime is
+// the line-fill component the caller folds into maxDur(issue, ...).
+func (h *Hierarchy) sideReadCost(addr uint64) (cost, memTime ptime.Duration) {
 	lvl := h.level(addr, false)
 	switch {
 	case lvl == 0:
@@ -25,15 +43,32 @@ func (h *Hierarchy) streamChunkRead(addr uint64, words int64) {
 	case lvl > 0:
 		h.stats.Hits[lvl]++
 		memTime = h.fill[lvl]
-		cost += h.fillUpper(addr, lvl-1, false)
+		cost = h.fillUpper(addr, lvl-1, false)
 	default:
 		h.stats.MemAccesses++
 		memTime = h.memFill
-		cost += h.fillUpper(addr, len(h.caches)-1, false)
+		cost = h.fillUpper(addr, len(h.caches)-1, false)
 	}
-	issue := h.cpu.OpTime(words * int64(h.cfg.ReadOpsPerWord))
-	cost += maxDur(issue, memTime)
-	h.clk.Advance(cost)
+	return cost, memTime
+}
+
+// sideWriteCost is sideReadCost for a write-allocate store stream.
+func (h *Hierarchy) sideWriteCost(addr uint64) (cost, memTime ptime.Duration) {
+	lvl := h.level(addr, true)
+	switch {
+	case lvl == 0:
+		h.stats.Hits[0]++
+	case lvl > 0:
+		h.stats.Hits[lvl]++
+		memTime = h.fill[lvl]
+		cost = h.fillUpper(addr, lvl-1, true)
+	default:
+		// Read-for-ownership fill from memory.
+		h.stats.MemAccesses++
+		memTime = h.memFill
+		cost = h.fillUpper(addr, len(h.caches)-1, true)
+	}
+	return cost, memTime
 }
 
 // StreamRead models the unrolled read-and-sum loop over [addr,
@@ -46,15 +81,21 @@ func (h *Hierarchy) StreamRead(addr uint64, bytes int64) {
 	if bytes <= 0 {
 		return
 	}
-	chunk := h.chunkSize()
-	wordsPerChunk := chunk / int64(h.cfg.WordSize)
-	if wordsPerChunk < 1 {
-		wordsPerChunk = 1
-	}
 	end := addr + uint64(bytes)
-	for a := addr; a < end; a += uint64(chunk) {
-		h.streamChunkRead(a, wordsPerChunk)
+	page := uint64(h.PageSize())
+	var total ptime.Duration
+	lastPage, havePage := uint64(0), false
+	for a := addr; a < end; a += uint64(h.chunk) {
+		// Single stream: the previous probe of this page is necessarily
+		// the TLB's most recent touch, so the skip is unconditional.
+		if p := a / page; !havePage || p != lastPage {
+			total += h.tlbAccess(a)
+			lastPage, havePage = p, true
+		}
+		cost, memTime := h.sideReadCost(a)
+		total += cost + maxDur(h.readIssue, memTime)
 	}
+	h.clk.Advance(total)
 }
 
 // StreamWrite models the unrolled store loop over [addr, addr+bytes).
@@ -67,45 +108,30 @@ func (h *Hierarchy) StreamWrite(addr uint64, bytes int64) {
 	if bytes <= 0 {
 		return
 	}
-	chunk := h.chunkSize()
-	wordsPerChunk := chunk / int64(h.cfg.WordSize)
-	if wordsPerChunk < 1 {
-		wordsPerChunk = 1
-	}
 	end := addr + uint64(bytes)
-	for a := addr; a < end; a += uint64(chunk) {
-		h.streamChunkWrite(a, wordsPerChunk, false)
-	}
-}
-
-func (h *Hierarchy) streamChunkWrite(addr uint64, words int64, hwBypass bool) {
-	cost := h.tlbAccess(addr)
-	var memTime ptime.Duration
-	issueOps := int64(h.cfg.WriteOpsPerWord)
-	if hwBypass || h.cfg.NoWriteAllocate {
-		// Stores stream past the caches straight to memory.
-		h.stats.MemAccesses++
-		h.stats.Writebacks++
-		memTime = h.memWB
-	} else {
-		lvl := h.level(addr, true)
-		switch {
-		case lvl == 0:
-			h.stats.Hits[0]++
-		case lvl > 0:
-			h.stats.Hits[lvl]++
-			memTime = h.fill[lvl]
-			cost += h.fillUpper(addr, lvl-1, true)
-		default:
-			// Read-for-ownership fill from memory.
-			h.stats.MemAccesses++
-			memTime = h.memFill
-			cost += h.fillUpper(addr, len(h.caches)-1, true)
+	page := uint64(h.PageSize())
+	bypass := h.cfg.NoWriteAllocate
+	var total ptime.Duration
+	lastPage, havePage := uint64(0), false
+	for a := addr; a < end; a += uint64(h.chunk) {
+		if p := a / page; !havePage || p != lastPage {
+			total += h.tlbAccess(a)
+			lastPage, havePage = p, true
 		}
+		var memTime ptime.Duration
+		if bypass {
+			// Stores stream past the caches straight to memory.
+			h.stats.MemAccesses++
+			h.stats.Writebacks++
+			memTime = h.memWB
+		} else {
+			var cost ptime.Duration
+			cost, memTime = h.sideWriteCost(a)
+			total += cost
+		}
+		total += maxDur(h.writeIssue, memTime)
 	}
-	issue := h.cpu.OpTime(words * issueOps)
-	cost += maxDur(issue, memTime)
-	h.clk.Advance(cost)
+	h.clk.Advance(total)
 }
 
 // StreamCopy models bcopy: read the source, write the destination.
@@ -125,59 +151,43 @@ func (h *Hierarchy) StreamCopyMode(src, dst uint64, bytes int64, hwCopy bool) {
 	if bytes <= 0 {
 		return
 	}
-	chunk := h.chunkSize()
-	wordsPerChunk := chunk / int64(h.cfg.WordSize)
-	if wordsPerChunk < 1 {
-		wordsPerChunk = 1
-	}
-	for off := int64(0); off < bytes; off += chunk {
-		// Source side: same as a streaming read but with the copy
-		// loop's instruction mix charged once for the pair below.
+	page := uint64(h.PageSize())
+	hoist := h.tlbHoistStreams >= 2
+	var total ptime.Duration
+	var lastSP, lastDP uint64
+	haveSP, haveDP := false, false
+	for off := int64(0); off < bytes; off += h.chunk {
 		sa := src + uint64(off)
 		da := dst + uint64(off)
 
-		cost := h.tlbAccess(sa)
-		var memTime ptime.Duration
-		lvl := h.level(sa, false)
-		switch {
-		case lvl == 0:
-			h.stats.Hits[0]++
-		case lvl > 0:
-			h.stats.Hits[lvl]++
-			memTime = h.fill[lvl]
-			cost += h.fillUpper(sa, lvl-1, false)
-		default:
-			h.stats.MemAccesses++
-			memTime = h.memFill
-			cost += h.fillUpper(sa, len(h.caches)-1, false)
+		// Source side: same as a streaming read but with the copy
+		// loop's instruction mix charged once for the pair below.
+		var cost ptime.Duration
+		if p := sa / page; !hoist || !haveSP || p != lastSP {
+			cost += h.tlbAccess(sa)
+			lastSP, haveSP = p, true
 		}
+		c, memTime := h.sideReadCost(sa)
+		cost += c
 
 		// Destination side.
-		cost += h.tlbAccess(da)
+		if p := da / page; !hoist || !haveDP || p != lastDP {
+			cost += h.tlbAccess(da)
+			lastDP, haveDP = p, true
+		}
 		if hwCopy {
 			h.stats.MemAccesses++
 			h.stats.Writebacks++
 			memTime += h.memWB
 		} else {
-			dlvl := h.level(da, true)
-			switch {
-			case dlvl == 0:
-				h.stats.Hits[0]++
-			case dlvl > 0:
-				h.stats.Hits[dlvl]++
-				memTime += h.fill[dlvl]
-				cost += h.fillUpper(da, dlvl-1, true)
-			default:
-				h.stats.MemAccesses++
-				memTime += h.memFill
-				cost += h.fillUpper(da, len(h.caches)-1, true)
-			}
+			dc, dmem := h.sideWriteCost(da)
+			cost += dc
+			memTime += dmem
 		}
 
-		issue := h.cpu.OpTime(wordsPerChunk * int64(h.cfg.CopyOpsPerWord))
-		cost += maxDur(issue, memTime)
-		h.clk.Advance(cost)
+		total += cost + maxDur(h.copyIssue, memTime)
 	}
+	h.clk.Advance(total)
 }
 
 // StreamKernel models one pass of a McCalpin STREAM kernel (§7: "We
@@ -194,49 +204,36 @@ func (h *Hierarchy) StreamKernel(dst uint64, srcs []uint64, bytes int64, opsPerW
 	if opsPerWord < 1 {
 		opsPerWord = 1
 	}
-	chunk := h.chunkSize()
-	wordsPerChunk := chunk / int64(h.cfg.WordSize)
-	if wordsPerChunk < 1 {
-		wordsPerChunk = 1
-	}
-	for off := int64(0); off < bytes; off += chunk {
+	issue := h.cpu.OpTime(h.chunkWords * int64(opsPerWord))
+	page := uint64(h.PageSize())
+	hoist := h.tlbHoistStreams >= len(srcs)+1
+	lastPage := make([]uint64, len(srcs)+1)
+	havePage := make([]bool, len(srcs)+1)
+	var total ptime.Duration
+	for off := int64(0); off < bytes; off += h.chunk {
 		var cost, memTime ptime.Duration
-		for _, src := range srcs {
+		for i, src := range srcs {
 			sa := src + uint64(off)
-			cost += h.tlbAccess(sa)
-			lvl := h.level(sa, false)
-			switch {
-			case lvl == 0:
-				h.stats.Hits[0]++
-			case lvl > 0:
-				h.stats.Hits[lvl]++
-				memTime += h.fill[lvl]
-				cost += h.fillUpper(sa, lvl-1, false)
-			default:
-				h.stats.MemAccesses++
-				memTime += h.memFill
-				cost += h.fillUpper(sa, len(h.caches)-1, false)
+			if p := sa / page; !hoist || !havePage[i] || p != lastPage[i] {
+				cost += h.tlbAccess(sa)
+				lastPage[i], havePage[i] = p, true
 			}
+			c, mem := h.sideReadCost(sa)
+			cost += c
+			memTime += mem
 		}
 		da := dst + uint64(off)
-		cost += h.tlbAccess(da)
-		dlvl := h.level(da, true)
-		switch {
-		case dlvl == 0:
-			h.stats.Hits[0]++
-		case dlvl > 0:
-			h.stats.Hits[dlvl]++
-			memTime += h.fill[dlvl]
-			cost += h.fillUpper(da, dlvl-1, true)
-		default:
-			h.stats.MemAccesses++
-			memTime += h.memFill
-			cost += h.fillUpper(da, len(h.caches)-1, true)
+		di := len(srcs)
+		if p := da / page; !hoist || !havePage[di] || p != lastPage[di] {
+			cost += h.tlbAccess(da)
+			lastPage[di], havePage[di] = p, true
 		}
-		issue := h.cpu.OpTime(wordsPerChunk * int64(opsPerWord))
-		cost += maxDur(issue, memTime)
-		h.clk.Advance(cost)
+		dc, dmem := h.sideWriteCost(da)
+		cost += dc
+		memTime += dmem
+		total += cost + maxDur(issue, memTime)
 	}
+	h.clk.Advance(total)
 }
 
 func maxDur(a, b ptime.Duration) ptime.Duration {
@@ -271,15 +268,19 @@ func (h *Hierarchy) NewChase(base uint64, size, stride int64) *Chase {
 }
 
 // Walk performs n dependent loads, continuing from where the previous
-// call stopped (the list wraps).
+// call stopped (the list wraps). The per-load costs accumulate locally
+// and charge the clock once.
 func (c *Chase) Walk(n int64) {
+	h := c.h
+	var total ptime.Duration
 	for i := int64(0); i < n; i++ {
-		c.h.Load(c.base + uint64(c.off))
+		total += h.loadCost(c.base + uint64(c.off))
 		c.off += c.stride
 		if c.off >= c.size {
 			c.off -= c.size
 		}
 	}
+	h.clk.Advance(total)
 }
 
 // Length returns the number of elements in the circular list.
@@ -290,28 +291,34 @@ func (c *Chase) Length() int64 { return (c.size + c.stride - 1) / c.stride }
 // the §7 "dirty-read latency" workload: reads whose victims carry
 // write-back costs.
 func (c *Chase) WalkDirty(n int64) {
+	h := c.h
+	var total ptime.Duration
 	for i := int64(0); i < n; i++ {
 		addr := c.base + uint64(c.off)
-		c.h.Load(addr)
-		c.h.Store(addr)
+		total += h.loadCost(addr)
+		total += h.storeCost(addr)
 		c.off += c.stride
 		if c.off >= c.size {
 			c.off -= c.size
 		}
 	}
+	h.clk.Advance(total)
 }
 
 // WalkWrite performs n strided stores (the §7 "write latency"
 // workload); addresses come from arithmetic, not loaded pointers, as a
 // store chain cannot be made dependent.
 func (c *Chase) WalkWrite(n int64) {
+	h := c.h
+	var total ptime.Duration
 	for i := int64(0); i < n; i++ {
-		c.h.Store(c.base + uint64(c.off))
+		total += h.storeCost(c.base + uint64(c.off))
 		c.off += c.stride
 		if c.off >= c.size {
 			c.off -= c.size
 		}
 	}
+	h.clk.Advance(total)
 }
 
 // PageChase walks the first word of each page in a scattered page
@@ -333,13 +340,16 @@ func (p *PageChase) Walk(n int64) {
 	if len(p.pages) == 0 {
 		return
 	}
+	h := p.h
+	var total ptime.Duration
 	for i := int64(0); i < n; i++ {
-		p.h.Load(p.pages[p.idx])
+		total += h.loadCost(p.pages[p.idx])
 		p.idx++
 		if p.idx == len(p.pages) {
 			p.idx = 0
 		}
 	}
+	h.clk.Advance(total)
 }
 
 // Length returns the page count.

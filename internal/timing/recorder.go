@@ -31,10 +31,16 @@ func (r *Recorder) Measurements() []Measurement {
 	return out
 }
 
-// Reset discards all recorded measurements.
+// Reset discards all recorded measurements but keeps the backing
+// storage, so a recorder reused across attempts (the suite keeps one
+// per experiment) stops allocating once the slice has grown to the
+// experiment's measurement count.
 func (r *Recorder) Reset() {
 	r.mu.Lock()
-	r.ms = nil
+	for i := range r.ms {
+		r.ms[i] = Measurement{} // drop sample-slice references
+	}
+	r.ms = r.ms[:0]
 	r.mu.Unlock()
 }
 

@@ -1,0 +1,47 @@
+package timing
+
+import (
+	"testing"
+
+	"repro/internal/ptime"
+)
+
+func TestRecorderRecordAndReset(t *testing.T) {
+	r := &Recorder{}
+	r.Record(Measurement{PerOp: ptime.Microsecond, N: 4,
+		Samples: []ptime.Duration{ptime.Microsecond}})
+	r.Record(Measurement{PerOp: 2 * ptime.Microsecond, N: 8})
+	if got := r.Measurements(); len(got) != 2 {
+		t.Fatalf("got %d measurements, want 2", len(got))
+	}
+	r.Reset()
+	if got := r.Measurements(); len(got) != 0 {
+		t.Fatalf("after Reset: got %d measurements, want 0", len(got))
+	}
+	r.Record(Measurement{PerOp: ptime.Nanosecond, N: 1})
+	if got := r.Measurements(); len(got) != 1 || got[0].N != 1 {
+		t.Fatalf("after reuse: got %+v", got)
+	}
+}
+
+// TestRecorderReuseDoesNotAllocate is the satellite regression test for
+// the suite's per-experiment recorder reuse: once the backing slice has
+// grown to an attempt's measurement count, further Reset+Record cycles
+// (retries, quality-gate re-measurements) must not allocate.
+func TestRecorderReuseDoesNotAllocate(t *testing.T) {
+	r := &Recorder{}
+	m := Measurement{PerOp: ptime.Microsecond, N: 16}
+	const perAttempt = 8
+	for i := 0; i < perAttempt; i++ {
+		r.Record(m)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Reset()
+		for i := 0; i < perAttempt; i++ {
+			r.Record(m)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Reset+Record cycle allocates %v times per attempt, want 0", allocs)
+	}
+}
