@@ -4,7 +4,7 @@ GO ?= go
 #   make chaos LMBENCH_CHAOS_SEED=99
 LMBENCH_CHAOS_SEED ?= 1
 
-.PHONY: all build vet test race chaos verify bench bench-smoke profile
+.PHONY: all build vet test race chaos verify bench bench-smoke serve-smoke fuzz-smoke profile
 
 # Benchmarks recorded in BENCH_pr3.json: the Figure-1 sweep plus the
 # memory-heavy tables (the simulator hot paths), and the simmem
@@ -24,11 +24,12 @@ vet:
 test:
 	$(GO) test ./...
 
-# The scheduler, timing harness, and fault-injection wrapper are the
-# concurrency-sensitive packages; run them (including the journal,
-# resume, and chaos suites) under the race detector.
+# The scheduler, timing harness, fault-injection wrapper, and
+# observability layer are the concurrency-sensitive packages; run them
+# (including the journal, resume, chaos, and metrics-scrape suites)
+# under the race detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/timing/... ./internal/faults/...
+	$(GO) test -race ./internal/core/... ./internal/timing/... ./internal/faults/... ./internal/obs/...
 
 # chaos runs the fault-injection scheduler suite on its own, race-
 # enabled and verbose, with a fixed seed for reproducible streams.
@@ -40,16 +41,28 @@ chaos:
 # BENCH_pr3.json. Set BENCH_BASELINE to a saved bench_after.txt from a
 # baseline tree to include before/after speedups.
 bench:
-	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -count $(BENCH_COUNT) . | tee bench_after.txt
-	$(GO) test -run XXX -bench '$(BENCH_MICRO)' -benchmem -count $(BENCH_COUNT) ./internal/simmem/ | tee -a bench_after.txt
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -count $(BENCH_COUNT) . | tee bench_after.txt
+	$(GO) test -run '^$$' -bench '$(BENCH_MICRO)' -benchmem -count $(BENCH_COUNT) ./internal/simmem/ | tee -a bench_after.txt
 	$(GO) run ./cmd/benchjson -after bench_after.txt $(if $(BENCH_BASELINE),-before $(BENCH_BASELINE)) -out BENCH_pr3.json
 
 # bench-smoke proves every recorded benchmark still runs (one
 # iteration each); part of verify so a refactor cannot silently break
 # the measurement harness.
 bench-smoke:
-	$(GO) test -run XXX -bench Figure1MemoryLatency -benchtime 1x . > /dev/null
-	$(GO) test -run XXX -bench '$(BENCH_MICRO)' -benchtime 1x ./internal/simmem/ > /dev/null
+	$(GO) test -run '^$$' -bench Figure1MemoryLatency -benchtime 1x . > /dev/null
+	$(GO) test -run '^$$' -bench '$(BENCH_MICRO)' -benchtime 1x ./internal/simmem/ > /dev/null
+
+# serve-smoke boots a short real run with `-serve` and proves all
+# three HTTP endpoints answer while the run is live; part of verify so
+# the observability wiring in cmd/lmbench cannot silently rot.
+serve-smoke:
+	GO="$(GO)" ./scripts/serve_smoke.sh
+
+# fuzz-smoke runs each results-codec fuzz target briefly over its
+# committed seed corpus — a CI-sized slice of `go test -fuzz`.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 2s ./internal/results/
+	$(GO) test -run '^$$' -fuzz '^FuzzEntryRoundTrip$$' -fuzztime 2s ./internal/results/
 
 # profile captures pprof CPU and heap profiles of a representative
 # simulated run; inspect with `go tool pprof cpu.pprof`.
@@ -58,6 +71,8 @@ profile:
 	@echo "wrote cpu.pprof and mem.pprof"
 
 # verify is the tier-1 gate: everything must build, vet clean, pass
-# tests, the concurrent scheduler must be race-clean, and the bench
-# harness must run.
-verify: build vet test race bench-smoke
+# tests, the concurrent scheduler and observability layer must be
+# race-clean, the bench harness must run, the -serve endpoints must
+# answer during a live run, and the results codec must survive a fuzz
+# smoke.
+verify: build vet test race bench-smoke serve-smoke fuzz-smoke

@@ -3,7 +3,7 @@
 // log from the pre-optimization tree — it reports per-benchmark
 // best-of-N ns/op and the before/after speedup:
 //
-//	go test -run XXX -bench Figure1 -count 5 | tee after.txt
+//	go test -run '^$' -bench Figure1 -count 5 | tee after.txt
 //	benchjson -after after.txt -before before.txt -out BENCH_pr3.json
 //
 // The input is the standard benchmark text format, so the same logs

@@ -11,6 +11,8 @@
 //	lmbench -only table2,table7      # restrict the experiments
 //	lmbench -parallel 4              # run simulated machines concurrently
 //	lmbench -trace run.jsonl         # structured JSON-lines event trace
+//	lmbench -spans run.spans.jsonl   # span trace (flamegraph-convertible)
+//	lmbench -serve 127.0.0.1:9090    # live /metrics, /progress, /healthz
 //	lmbench -out results.db          # save the database
 //	lmbench -merge old.db ...        # preload databases before running
 //	lmbench -journal run.jnl         # crash-safe journal of completed work
@@ -34,6 +36,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/host"
 	"repro/internal/machines"
+	"repro/internal/obs"
 	"repro/internal/paper"
 	"repro/internal/ptime"
 	"repro/internal/results"
@@ -60,6 +63,8 @@ func run() error {
 		summaryFlag = flag.Bool("summary", false, "print per-machine summary blocks instead of the paper tables")
 		parFlag     = flag.Int("parallel", 1, "machines run at once (simulated machines only; host runs are serialized)")
 		traceFlag   = flag.String("trace", "", "write a JSON-lines event trace to this file")
+		spansFlag   = flag.String("spans", "", "write a JSON-lines span trace (flamegraph-convertible) to this file")
+		serveFlag   = flag.String("serve", "", "serve /metrics, /progress and /healthz on this address for the run's duration")
 		timeoutFlag = flag.Duration("timeout", 0, "per-experiment attempt deadline (0 = none)")
 		retryFlag   = flag.Int("retries", 0, "extra attempts for a failing experiment")
 		journalFlag = flag.String("journal", "", "append completed experiments to this crash-safe journal")
@@ -231,14 +236,62 @@ func run() error {
 		defer func() { _ = tf.Close() }()
 		sinks = append(sinks, core.NewJSONLSink(tf))
 	}
-	var sink core.EventSink
-	if len(sinks) > 0 {
-		sink = sinks
+	if *spansFlag != "" {
+		sf, err := os.Create(*spansFlag)
+		if err != nil {
+			return err
+		}
+		tr := obs.NewTraceSink(sf).WithSamples()
+		defer func() {
+			_ = tr.Close() // emit the root suite span
+			_ = sf.Close()
+		}()
+		sinks = append(sinks, tr)
 	}
 
 	journal, replay, err := openJournal(*journalFlag, *resumeFlag)
 	if err != nil {
 		return err
+	}
+
+	if *serveFlag != "" {
+		registry := obs.NewRegistry()
+		progress := obs.NewProgress()
+		for _, m := range targets {
+			progress.SetPlan(m.Name(), planSize(only, *extFlag))
+		}
+		sinks = append(sinks, obs.NewMetricsSink(registry), progress)
+		obs.RegisterHarness(registry)
+		if journal != nil {
+			obs.RegisterJournal(registry, journal)
+		}
+		if len(chaotic) > 0 {
+			injected := chaotic
+			obs.RegisterFaults(registry, func() (calls, errors, stalls, spikes int64) {
+				for _, f := range injected {
+					st := f.Stats()
+					calls += int64(st.Calls)
+					errors += int64(st.Errors)
+					stalls += int64(st.Stalls)
+					spikes += int64(st.Spikes)
+				}
+				return
+			})
+		}
+		srv := &obs.Server{Registry: registry, Progress: progress}
+		addr, stopServe, err := srv.Start(ctx, *serveFlag)
+		if err != nil {
+			return fmt.Errorf("-serve: %w", err)
+		}
+		defer stopServe()
+		if !*quietFlag {
+			fmt.Fprintf(os.Stderr, "observability: http://%s/metrics /progress /healthz\n", addr)
+		}
+	}
+
+	var sink core.EventSink
+	if len(sinks) > 0 {
+		sink = sinks
 	}
 
 	runner := &core.Runner{
@@ -344,6 +397,35 @@ func openJournal(journalPath, resumePath string) (*core.JournalWriter, *core.Jou
 		return core.AppendJournalWriter(f), replay, nil
 	}
 	return nil, nil, nil
+}
+
+// planSize counts the experiment groups one machine will execute — the
+// unit the suite emits events for. Experiments sharing a RunKey (e.g.
+// Figure 1 and Table 6 come from one sweep) count once, matching how
+// the run loop dedups them, so /progress ETAs are denominated in the
+// same units the event stream reports.
+func planSize(only map[string]bool, extended bool) int {
+	exps := core.Experiments()
+	if extended {
+		exps = append(exps, core.Extensions()...)
+	}
+	seen := map[string]bool{}
+	n := 0
+	for _, e := range exps {
+		if only != nil && !only[e.ID] {
+			continue
+		}
+		key := e.RunKey
+		if key == "" {
+			key = e.ID
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		n++
+	}
+	return n
 }
 
 // multiFlag collects repeatable string flags.

@@ -5,10 +5,13 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"io"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/machines"
+	"repro/internal/obs"
 	"repro/internal/ptime"
 	"repro/internal/results"
 	"repro/internal/timing"
@@ -44,10 +47,21 @@ func goldenOpts() core.Options {
 // in-process and compares the encoded database hash against the pinned
 // golden value. It takes ~25s of real time (the whole paper on seven
 // virtual machines), so -short skips it.
+//
+// The run executes with the full observability stack attached —
+// metrics, per-sample span tracing, and live progress — which doubles
+// this test as the out-of-band proof: a run that is watched hashes the
+// same as one that is not.
 func TestGoldenDatabaseByteIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-suite regeneration is slow; skipped with -short")
 	}
+	reg := obs.NewRegistry()
+	obs.RegisterHarness(reg)
+	progress := obs.NewProgress()
+	tracer := obs.NewTraceSink(io.Discard).WithSamples()
+	sink := core.MultiSink{obs.NewMetricsSink(reg), tracer, progress}
+
 	db := &results.DB{}
 	for _, n := range machines.Names() {
 		p, _ := machines.ByName(n)
@@ -55,7 +69,7 @@ func TestGoldenDatabaseByteIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s := &core.Suite{M: m, Opts: goldenOpts()}
+		s := &core.Suite{M: m, Opts: goldenOpts(), Events: sink}
 		if _, err := s.Run(context.Background(), db); err != nil {
 			t.Fatalf("%s: %v", n, err)
 		}
@@ -69,5 +83,28 @@ func TestGoldenDatabaseByteIdentical(t *testing.T) {
 		t.Errorf("regenerated database hash %s, want %s\n"+
 			"the simulator's observable behavior changed; if intentional, refresh results/ and this hash",
 			got, goldenDBSHA256)
+	}
+
+	// The observers must actually have observed the run, or the
+	// byte-identity above proves nothing.
+	var expo bytes.Buffer
+	if err := reg.WritePrometheus(&expo); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"lmbench_experiments_finished_total",
+		"lmbench_harness_batches_total",
+		"lmbench_harness_benchloops_total",
+		"lmbench_sim_",
+	} {
+		if !strings.Contains(expo.String(), want) {
+			t.Errorf("metrics exposition after the golden run is missing %q", want)
+		}
+	}
+	if tracer.Spans() == 0 {
+		t.Error("trace sink recorded no spans during the golden run")
+	}
+	if snap := progress.Snapshot(); snap.Completed == 0 {
+		t.Errorf("progress saw no completed experiments: %+v", snap)
 	}
 }

@@ -6,6 +6,9 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"repro/internal/ptime"
+	"repro/internal/timing"
 )
 
 // EventKind names a suite-lifecycle transition.
@@ -91,6 +94,20 @@ type Event struct {
 // machine goroutines at once.
 type EventSink interface {
 	Event(Event)
+}
+
+// AttemptProber is an optional EventSink capability. Before each
+// experiment attempt, the suite asks a sink implementing it for a
+// timing.Probe and installs the probe on the attempt's context; the
+// measurement harness then reports calibration steps and per-batch
+// samples to it. Return nil to decline an attempt.
+//
+// Probe calls honor timing's out-of-band guarantee (they land between
+// clock readings, never inside a timed interval), but they run on the
+// measurement goroutine: implementations should be cheap and must be
+// safe for concurrent use when several machines run in parallel.
+type AttemptProber interface {
+	AttemptProbe(machine, experiment string, attempt int) timing.Probe
 }
 
 // discardSink drops everything; it stands in for a nil sink so the
@@ -188,5 +205,43 @@ func (m MultiSink) Event(e Event) {
 		if s != nil {
 			s.Event(e)
 		}
+	}
+}
+
+// AttemptProbe implements AttemptProber by collecting the probes of
+// every member sink that wants one; it returns nil when none do, so a
+// MultiSink of probe-less sinks costs the suite nothing per attempt.
+func (m MultiSink) AttemptProbe(machine, experiment string, attempt int) timing.Probe {
+	var probes multiProbe
+	for _, s := range m {
+		ap, ok := s.(AttemptProber)
+		if !ok {
+			continue
+		}
+		if p := ap.AttemptProbe(machine, experiment, attempt); p != nil {
+			probes = append(probes, p)
+		}
+	}
+	switch len(probes) {
+	case 0:
+		return nil
+	case 1:
+		return probes[0]
+	}
+	return probes
+}
+
+// multiProbe fans harness probe calls out to several probes in order.
+type multiProbe []timing.Probe
+
+func (m multiProbe) Calibrated(n int64, resolution ptime.Duration) {
+	for _, p := range m {
+		p.Calibrated(n, resolution)
+	}
+}
+
+func (m multiProbe) Sample(elapsed ptime.Duration, n int64, timed bool) {
+	for _, p := range m {
+		p.Sample(elapsed, n, timed)
 	}
 }

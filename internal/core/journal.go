@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/results"
 )
@@ -58,8 +59,9 @@ type syncer interface {
 // safe for concurrent use; each record is emitted as a single Write so
 // a crash can tear at most the final line.
 type JournalWriter struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu    sync.Mutex
+	w     io.Writer
+	bytes atomic.Int64
 }
 
 // NewJournalWriter starts a fresh journal on w, writing the header.
@@ -95,8 +97,14 @@ func (jw *JournalWriter) Record(rec JournalRecord) error {
 			return fmt.Errorf("core: journal sync: %w", err)
 		}
 	}
+	jw.bytes.Add(int64(len(line)))
 	return nil
 }
+
+// BytesWritten reports the cumulative record bytes this writer has
+// durably appended (header excluded). Safe to read concurrently with
+// Record — it feeds the observability layer's journal gauge.
+func (jw *JournalWriter) BytesWritten() int64 { return jw.bytes.Load() }
 
 type journalKey struct{ machine, key string }
 

@@ -350,18 +350,21 @@ func (s *Suite) runExperiment(ctx context.Context, sink EventSink, exp Experimen
 	for attempt := 1; ; attempt++ {
 		ev(ExperimentStarted, attempt, 0, 0, nil, qualitySummary{}, nil)
 		start := time.Now()
-		entries, q, sim, err := s.attempt(ctx, exp, opts, rec)
+		entries, q, sim, err := s.attempt(ctx, sink, exp, opts, rec, attempt)
 		dur := time.Since(start)
 		switch {
 		case err == nil:
-			if s.MaxRSD > 0 && q.Measurements > 0 && q.WorstSpread > s.MaxRSD && qualityLeft > 0 {
-				// Too noisy: reject the measurement and try again.
+			noisy := q.WorstSpread > s.MaxRSD || q.Degenerate > 0
+			if s.MaxRSD > 0 && q.Measurements > 0 && noisy && qualityLeft > 0 {
+				// Too noisy (or degenerate — zero-baseline samples whose
+				// spread is undefined): reject the measurement and try
+				// again.
 				qualityLeft--
 				ev(ExperimentQuality, attempt, dur, len(entries), nil, q, nil)
 				continue
 			}
 			if s.MaxRSD > 0 && q.Measurements > 0 {
-				stampQuality(entries, q, q.WorstSpread > s.MaxRSD)
+				stampQuality(entries, q, noisy)
 			}
 			ev(ExperimentFinished, attempt, dur, len(entries), nil, q, sim)
 			return entries, nil
@@ -387,10 +390,13 @@ func (s *Suite) runExperiment(ctx context.Context, sink EventSink, exp Experimen
 // context into the backend's blocking primitives when it can accept
 // one. When the quality gate is enabled, the caller's recorder rides
 // on the context (reset first, keeping its storage) and the attempt's
-// sample statistics are summarized for the gate. On simulated machines
-// the returned map carries the experiment's activity-counter delta
+// sample statistics are summarized for the gate. Sinks implementing
+// AttemptProber additionally get a timing.Probe installed on the
+// context, so observability can see individual harness batches — out
+// of band, never inside a timed interval. On simulated machines the
+// returned map carries the experiment's activity-counter delta
 // (SimStatser) for the event stream.
-func (s *Suite) attempt(ctx context.Context, exp Experiment, opts Options, rec *timing.Recorder) ([]results.Entry, qualitySummary, map[string]int64, error) {
+func (s *Suite) attempt(ctx context.Context, sink EventSink, exp Experiment, opts Options, rec *timing.Recorder, attempt int) ([]results.Entry, qualitySummary, map[string]int64, error) {
 	if timing.IsRealTime(s.M.Clock()) {
 		wallMu.Lock()
 		defer wallMu.Unlock()
@@ -415,6 +421,11 @@ func (s *Suite) attempt(ctx context.Context, exp Experiment, opts Options, rec *
 	if rec != nil {
 		rec.Reset()
 		runCtx = timing.WithRecorder(runCtx, rec)
+	}
+	if ap, ok := sink.(AttemptProber); ok {
+		if p := ap.AttemptProbe(s.M.Name(), exp.ID, attempt); p != nil {
+			runCtx = timing.WithProbe(runCtx, p)
+		}
 	}
 	if cb, ok := s.M.(ContextBinder); ok {
 		cb.BindContext(runCtx)
@@ -461,6 +472,12 @@ type qualitySummary struct {
 	// registers); such spikes are the scheduling noise min-of-N
 	// reporting absorbs, counted here so reports can see them.
 	Outliers int
+	// Degenerate counts measurements whose relative spread is undefined
+	// because the fastest sample was zero or denormal while others were
+	// not (stats.ErrZeroMedian). Such a measurement is at least as
+	// suspect as a noisy one — the spread it hides may be unbounded —
+	// so the gate re-measures rather than silently accepting it.
+	Degenerate int
 }
 
 // summarizeQuality computes the gate statistics from an attempt's
@@ -477,8 +494,12 @@ func summarizeQuality(rec *timing.Recorder) qualitySummary {
 		for i, s := range m.Samples {
 			xs[i] = float64(s)
 		}
-		if spread, err := stats.RelSpread(xs); err == nil && spread > q.WorstSpread {
-			q.WorstSpread = spread
+		if spread, err := stats.RelSpread(xs); err == nil {
+			if spread > q.WorstSpread {
+				q.WorstSpread = spread
+			}
+		} else if errors.Is(err, stats.ErrZeroMedian) {
+			q.Degenerate++
 		}
 		med, err := stats.Median(xs)
 		if err != nil {
@@ -508,6 +529,9 @@ func stampQuality(entries []results.Entry, q qualitySummary, flagged bool) {
 		entries[i].Attrs["quality.samples"] = strconv.Itoa(q.Samples)
 		entries[i].Attrs["quality.spread"] = strconv.FormatFloat(q.WorstSpread, 'g', -1, 64)
 		entries[i].Attrs["quality.outliers"] = strconv.Itoa(q.Outliers)
+		if q.Degenerate > 0 {
+			entries[i].Attrs["quality.degenerate"] = strconv.Itoa(q.Degenerate)
+		}
 		if flagged {
 			entries[i].Attrs["quality.flagged"] = "true"
 		}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", g.Value())
+	}
+	h := newHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 556.5 {
+		t.Errorf("sum = %v, want 556.5", h.Sum())
+	}
+	// Bucket upper bounds are inclusive: 1 lands in le=1.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.buckets[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	if len(b) != len(want) {
+		t.Fatalf("got %v", b)
+	}
+	for i := range want {
+		if diff := b[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+	if ExpBuckets(0, 10, 4) != nil || ExpBuckets(1, 1, 4) != nil || ExpBuckets(1, 2, 0) != nil {
+		t.Error("degenerate bucket specs must return nil")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs_total", "Total runs.").Add(3)
+	r.Gauge("temperature", "Current temperature.").Set(-1.5)
+	r.GaugeFunc("live_value", "Read at scrape time.", func() float64 { return 42 })
+	v := r.CounterVec("per_machine_total", "Per machine.", "machine")
+	v.With(`weird"name\with newline` + "\n").Inc()
+	v.With("plain").Add(2)
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP runs_total Total runs.\n# TYPE runs_total counter\nruns_total 3\n",
+		"# TYPE temperature gauge\ntemperature -1.5\n",
+		"live_value 42\n",
+		`per_machine_total{machine="weird\"name\\with newline\n"} 1`,
+		`per_machine_total{machine="plain"} 2`,
+		"# TYPE latency_seconds histogram\n",
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 2`,
+		`latency_seconds_bucket{le="+Inf"} 3`,
+		"latency_seconds_sum 5.55\n",
+		"latency_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryReregistration(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("same", "help")
+	if r.Counter("same", "ignored") != c {
+		t.Error("re-registration must return the existing metric")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("type-conflicting re-registration must panic")
+		}
+	}()
+	r.Gauge("same", "conflict")
+}
+
+// TestMetricsConcurrent hammers every metric type from many goroutines
+// (meaningful under -race) while a scraper renders the registry.
+func TestMetricsConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	v := r.CounterVec("v", "", "machine")
+	h := r.Histogram("h", "", ExpBuckets(1e-6, 10, 8))
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m := v.With(string(rune('a' + i)))
+			for j := 0; j < per; j++ {
+				c.Inc()
+				g.Add(1)
+				m.Inc()
+				h.Observe(float64(j) * 1e-5)
+				if j%100 == 0 {
+					var buf bytes.Buffer
+					if err := r.WritePrometheus(&buf); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != goroutines*per {
+		t.Errorf("counter = %d, want %d", c.Value(), goroutines*per)
+	}
+	if g.Value() != goroutines*per {
+		t.Errorf("gauge = %v, want %v", g.Value(), goroutines*per)
+	}
+	if h.Count() != goroutines*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), goroutines*per)
+	}
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server exposes a run's observability over HTTP — the implementation
+// behind `lmbench -serve addr`:
+//
+//	/metrics  Prometheus text exposition of the Registry
+//	/progress live run state as JSON (see Snapshot)
+//	/healthz  "ok" once serving
+//
+// The server runs beside the suite, not inside it: handlers only read
+// atomic counters and mutex-guarded snapshots, so a scrape never
+// blocks a measurement (and on simulated machines cannot perturb one
+// even in principle — virtual clocks don't advance while a handler
+// runs).
+type Server struct {
+	Registry *Registry
+	Progress *Progress
+}
+
+// Handler returns the route table, exported separately so tests (and
+// embedders) can drive it without a socket.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if s.Registry != nil {
+			_ = s.Registry.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if s.Progress != nil {
+			_ = enc.Encode(s.Progress.Snapshot())
+			return
+		}
+		_ = enc.Encode(Snapshot{Time: time.Now()})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// ListenAndServe serves on addr until ctx is cancelled, then shuts
+// down gracefully. It returns the bound address on a channel-free
+// contract: Start for the common case of serving in the background.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.serve(ctx, ln)
+}
+
+// Start begins serving on addr in the background and returns the
+// actual bound address (useful with ":0"). The server stops when ctx
+// is cancelled; stop() waits for shutdown to complete.
+func (s *Server) Start(ctx context.Context, addr string) (bound string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = s.serve(ctx, ln)
+	}()
+	return ln.Addr().String(), func() { cancel(); <-done }, nil
+}
+
+func (s *Server) serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+		<-errc
+		return nil
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ptime"
+	"repro/internal/timing"
+)
+
+// Span is one completed unit of work in the run's trace, written as a
+// JSON line when the unit ends. Stack is the semicolon-joined path
+// from the root (suite;machine;experiment;attempt), so a trace folds
+// directly into flamegraph input:
+//
+//	jq -r 'select(.dur_ns>0) | "\(.stack) \(.dur_ns)"' run.spans.jsonl |
+//	    flamegraph.pl --countname ns
+type Span struct {
+	// Name is the leaf of the stack.
+	Name string `json:"name"`
+	// Kind is the level: suite, machine, attempt, or sample.
+	Kind string `json:"kind"`
+	// Stack is the full semicolon-joined path.
+	Stack string `json:"stack"`
+	// StartUS is the span's start in microseconds since the trace
+	// epoch (the TraceSink's creation); absent on sample spans, whose
+	// clock may be virtual.
+	StartUS int64 `json:"start_us,omitempty"`
+	// DurNS is the span's duration in nanoseconds. For sample spans
+	// this is harness-clock time — virtual on simulated machines.
+	DurNS int64 `json:"dur_ns"`
+	// Outcome is the terminal event kind for attempt spans (finished,
+	// retried, quality, skipped, failed) and "timed"/"calibration" for
+	// sample spans.
+	Outcome string `json:"outcome,omitempty"`
+	// N is the batch iteration count on sample spans.
+	N int64 `json:"n,omitempty"`
+	// Err carries the failure text of retried/failed/skipped attempts.
+	Err string `json:"error,omitempty"`
+}
+
+// TraceSink turns the suite's event stream into a span trace: one JSON
+// line per completed attempt and machine run, plus (optionally) one
+// per harness batch. It implements core.EventSink and, when sample
+// spans are enabled, core.AttemptProber; Close emits the root span.
+//
+// Like every obs component it is out-of-band: spans are derived from
+// events and probe callbacks, serialized outside timed intervals, and
+// never touch the results database.
+type TraceSink struct {
+	mu           sync.Mutex
+	enc          *json.Encoder
+	epoch        time.Time
+	machineStart map[string]time.Time
+	spans        int64
+	samples      bool
+	closed       bool
+}
+
+// NewTraceSink writes span lines to w. Sample spans are off by
+// default; see WithSamples.
+func NewTraceSink(w io.Writer) *TraceSink {
+	return &TraceSink{
+		enc: json.NewEncoder(w), epoch: time.Now(),
+		machineStart: map[string]time.Time{},
+	}
+}
+
+// WithSamples enables per-batch sample spans (one line per harness
+// batch — verbose, but the only level that shows auto-scaling at
+// work). Returns the sink for chaining.
+func (t *TraceSink) WithSamples() *TraceSink {
+	t.mu.Lock()
+	t.samples = true
+	t.mu.Unlock()
+	return t
+}
+
+// Spans returns how many span lines have been written.
+func (t *TraceSink) Spans() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spans
+}
+
+func (t *TraceSink) emit(s Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_ = t.enc.Encode(s)
+	t.spans++
+}
+
+// Event implements core.EventSink. Attempt spans are emitted on the
+// attempt's terminal event; its start is reconstructed from the event
+// time minus the reported duration.
+func (t *TraceSink) Event(e core.Event) {
+	switch e.Kind {
+	case core.MachineStarted:
+		t.mu.Lock()
+		t.machineStart[e.Machine] = e.Time
+		t.mu.Unlock()
+	case core.MachineFinished:
+		start := e.Time.Add(-e.Duration)
+		t.mu.Lock()
+		if s, ok := t.machineStart[e.Machine]; ok {
+			start = s
+			delete(t.machineStart, e.Machine)
+		}
+		t.mu.Unlock()
+		t.emit(Span{
+			Name: e.Machine, Kind: "machine",
+			Stack:   "suite;" + e.Machine,
+			StartUS: start.Sub(t.epoch).Microseconds(),
+			DurNS:   e.Duration.Nanoseconds(),
+			Err:     e.Err,
+		})
+	case core.ExperimentFinished, core.ExperimentRetried, core.ExperimentQuality,
+		core.ExperimentSkipped, core.ExperimentFailed:
+		name := attemptName(e.Attempt)
+		t.emit(Span{
+			Name: name, Kind: "attempt",
+			Stack:   "suite;" + e.Machine + ";" + e.Experiment + ";" + name,
+			StartUS: e.Time.Add(-e.Duration).Sub(t.epoch).Microseconds(),
+			DurNS:   e.Duration.Nanoseconds(),
+			Outcome: outcome(e.Kind),
+			Err:     e.Err,
+		})
+	}
+}
+
+// AttemptProbe implements core.AttemptProber, emitting one sample span
+// per harness batch when sample spans are enabled.
+func (t *TraceSink) AttemptProbe(machine, experiment string, attempt int) timing.Probe {
+	t.mu.Lock()
+	want := t.samples
+	t.mu.Unlock()
+	if !want {
+		return nil
+	}
+	return &traceProbe{
+		sink:  t,
+		stack: "suite;" + machine + ";" + experiment + ";" + attemptName(attempt) + ";sample",
+	}
+}
+
+type traceProbe struct {
+	sink  *TraceSink
+	stack string
+}
+
+func (p *traceProbe) Calibrated(n int64, resolution ptime.Duration) {}
+
+func (p *traceProbe) Sample(elapsed ptime.Duration, n int64, timed bool) {
+	out := "calibration"
+	if timed {
+		out = "timed"
+	}
+	p.sink.emit(Span{
+		Name: "sample", Kind: "sample", Stack: p.stack,
+		DurNS: int64(elapsed / ptime.Nanosecond), Outcome: out, N: n,
+	})
+}
+
+// Close emits the root suite span covering the sink's whole lifetime.
+// Safe to call once; further events after Close still serialize but
+// belong to no root.
+func (t *TraceSink) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	dur := time.Since(t.epoch)
+	t.mu.Unlock()
+	t.emit(Span{
+		Name: "suite", Kind: "suite", Stack: "suite",
+		StartUS: 0, DurNS: dur.Nanoseconds(),
+	})
+	return nil
+}
+
+func attemptName(n int) string {
+	if n <= 0 {
+		n = 1
+	}
+	return "attempt" + itoa(n)
+}
+
+// itoa avoids strconv in the per-span path for the common single-digit
+// attempt numbers.
+func itoa(n int) string {
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return itoa(n/10) + string(rune('0'+n%10))
+}
+
+func outcome(k core.EventKind) string {
+	switch k {
+	case core.ExperimentFinished:
+		return "finished"
+	case core.ExperimentRetried:
+		return "retried"
+	case core.ExperimentQuality:
+		return "quality"
+	case core.ExperimentSkipped:
+		return "skipped"
+	case core.ExperimentFailed:
+		return "failed"
+	}
+	return string(k)
+}

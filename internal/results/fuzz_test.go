@@ -1,0 +1,104 @@
+package results
+
+// Fuzz targets for the results database's text serialization — the
+// interchange format donated result files travel in, and therefore the
+// one parser in the tree that must hold up against arbitrary input.
+// Two properties are pinned:
+//
+//   - Decode never panics, whatever the bytes (FuzzDecode), and any
+//     input it accepts re-encodes canonically: Encode(Decode(x)) is a
+//     fixed point of Decode∘Encode.
+//   - Every entry the API can build survives a round trip unchanged,
+//     and re-encoding the decoded database reproduces the first
+//     encoding byte for byte (FuzzEntryRoundTrip) — the property the
+//     golden-SHA pinning of the full suite run rests on.
+//
+// `make fuzz-smoke` runs both briefly in CI; the committed corpus
+// under testdata/fuzz seeds the interesting shapes (quotes, escapes,
+// torn quoting, huge exponents).
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("# lmbench-go results v1\n"))
+	f.Add([]byte("# lmbench-go results v1\nentry \"b\" \"m\" \"ns\" 1\nend\n"))
+	f.Add([]byte("# lmbench-go results v1\nentry \"b\" \"m\" \"ns\" 1\nattr \"k\" \"v\"\npoint 1 2 3\nend\n"))
+	f.Add([]byte("# lmbench-go results v1\nentry \"b\" \"m\" \"ns\" 1\nseries\nend\n"))
+	f.Add([]byte("entry \"b\" \"m\" \"ns\" NaN\nend\n"))
+	f.Add([]byte("entry \"b\\\"q \\\\ z\" \"m m\" \"\" -0\nend\n"))
+	f.Add([]byte("entry \"unterminated\n"))
+	f.Add([]byte("point 1e308 -1e308 5e-324\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything Decode accepts must re-encode to a form Decode
+		// accepts again, identically: the format is canonical.
+		var first bytes.Buffer
+		if err := db.Encode(&first); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		db2, err := Decode(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of re-encoding failed: %v\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := db2.Encode(&second); err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("encoding is not a fixed point:\nfirst:\n%s\nsecond:\n%s", first.Bytes(), second.Bytes())
+		}
+	})
+}
+
+func FuzzEntryRoundTrip(f *testing.F) {
+	f.Add("bw_mem.bcopy_libc", "Linux/i686", "MB/s", 42.5, "size", "8388608", 512.0, 8.0, 5.1, false)
+	f.Add("lat_mem_rd", "name with spaces", "ns", 0.0, "", "", 1e308, -0.0, 5e-324, true)
+	f.Add("q\"uote", "back\\slash", "\n", -1.5, "k\"", "v\\\"", 0.0, 0.0, 0.0, true)
+	f.Add("", "", "", 0.0, "a", "b", 1.0, 2.0, 3.0, false)
+	f.Fuzz(func(t *testing.T, bench, machine, unit string, scalar float64, attrK, attrV string, x, x2, y float64, series bool) {
+		e := Entry{Benchmark: bench, Machine: machine, Unit: unit, Scalar: scalar}
+		if attrK != "" {
+			e.Attrs = map[string]string{attrK: attrV}
+		}
+		if series {
+			e.Series = []Point{{X: x, X2: x2, Y: y}}
+		}
+		db := &DB{}
+		if err := db.Add(e); err != nil {
+			// Add's validation (empty names, non-finite values) is the
+			// API boundary; rejected entries have no round trip.
+			return
+		}
+		var first bytes.Buffer
+		if err := db.Encode(&first); err != nil {
+			t.Fatalf("encode failed: %v", err)
+		}
+		got, err := Decode(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("decode failed: %v\n%s", err, first.Bytes())
+		}
+		want, _ := db.Get(bench, machine)
+		dec, ok := got.Get(bench, machine)
+		if !ok {
+			t.Fatalf("entry lost in round trip:\n%s", first.Bytes())
+		}
+		if !reflect.DeepEqual(want, dec) {
+			t.Fatalf("round trip changed the entry:\nwant %#v\ngot  %#v\nencoding:\n%s", want, dec, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := got.Encode(&second); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("re-encoding diverged:\nfirst:\n%s\nsecond:\n%s", first.Bytes(), second.Bytes())
+		}
+	})
+}

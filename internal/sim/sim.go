@@ -24,6 +24,12 @@ type Clock struct {
 // Now returns the current virtual time.
 func (c *Clock) Now() ptime.Duration { return c.now }
 
+// ExactResolution implements timing.ExactResolver: the virtual clock is
+// exact to one ptime unit and never advances on a read, so the harness
+// skips resolution probing entirely (probing a clock that cannot tick
+// during the probe would burn ~2M reads to learn exactly this value).
+func (c *Clock) ExactResolution() ptime.Duration { return 1 }
+
 // Advance charges d of simulated time. Negative charges are ignored so
 // a buggy cost model cannot make time flow backwards.
 func (c *Clock) Advance(d ptime.Duration) {

@@ -146,20 +146,51 @@ func MAD(xs []float64) (float64, error) {
 	return Median(devs)
 }
 
+// ErrZeroMedian is returned by RelSpread when the sample set's
+// baseline (its minimum) is zero or denormal while other samples are
+// not. Dividing by such a baseline would produce NaN/Inf; callers that
+// promise finite statistics (the suite's quality.* attrs) must treat
+// the measurement as degenerate instead. A fault-injected or
+// quantized clock returning identical zero samples does NOT hit this
+// error: when every sample is (effectively) zero the set has no
+// dispersion and its spread is defined as exactly 0.
+var ErrZeroMedian = errors.New("stats: zero or denormal median/baseline with nonzero spread")
+
+// minNormal is the smallest positive normal float64; anything below it
+// (zero or denormal) is useless as a division baseline.
+const minNormal = 0x1p-1022
+
 // RelSpread returns the relative spread of the min-of-N sample set:
 // (median - min) / min. lmbench reports the minimum of repeated
 // measurements; this statistic says how far the typical sample sits
 // above that minimum. A small value means the minimum is well
 // supported by the rest of the samples; a large value means the run
-// was noisy and the reported minimum may be a fluke. All samples must
-// be positive (they are durations).
+// was noisy and the reported minimum may be a fluke. Samples are
+// durations and must be non-negative.
+//
+// Degenerate sets are defined rather than left to float division: an
+// all-(effectively-)zero sample set — e.g. a quantized clock that
+// never ticked — has spread 0 by definition; a zero baseline under
+// larger samples has no meaningful relative spread and returns
+// ErrZeroMedian. The returned value is always finite.
 func RelSpread(xs []float64) (float64, error) {
 	min, err := Min(xs)
 	if err != nil {
 		return 0, err
 	}
-	if min <= 0 {
-		return 0, errors.New("stats: relative spread requires positive samples")
+	if min < 0 {
+		return 0, errors.New("stats: relative spread requires non-negative samples")
+	}
+	if min < minNormal {
+		// Zero/denormal baseline: the ratio is undefined. All-zero
+		// samples legitimately have no spread; anything else is a
+		// degenerate measurement the caller must handle. (The max, not
+		// the MAD, is the discriminator: [0, t, 0, t, t] has MAD 0 yet
+		// plainly disperses.)
+		if max, err := Max(xs); err == nil && max < minNormal {
+			return 0, nil
+		}
+		return 0, ErrZeroMedian
 	}
 	med, _ := Median(xs)
 	return (med - min) / min, nil

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"sort"
@@ -420,5 +421,49 @@ func TestRelSpread(t *testing.T) {
 	got, err = RelSpread([]float64{10, 15, 20})
 	if err != nil || math.Abs(got-0.5) > 1e-12 {
 		t.Errorf("RelSpread(10,15,20) = %v, %v, want 0.5", got, err)
+	}
+}
+
+// TestRelSpreadDegenerate pins the quality-gate contract for samples a
+// fault-injected or quantized clock can produce: the result is always
+// finite, all-identical zero samples have spread exactly 0, and a
+// zero/denormal baseline with real dispersion is the typed
+// ErrZeroMedian rather than NaN/Inf or a generic failure.
+func TestRelSpreadDegenerate(t *testing.T) {
+	// A clock that never ticked: every sample is zero. RSD := 0 —
+	// this is a legitimate (degenerate but quiet) measurement, not an
+	// error.
+	got, err := RelSpread([]float64{0, 0, 0, 0})
+	if err != nil || got != 0 {
+		t.Errorf("RelSpread(0,0,0,0) = %v, %v, want 0, nil", got, err)
+	}
+	// Zero baseline under larger samples: relative spread is undefined;
+	// the typed error lets the gate treat the measurement as degenerate.
+	_, err = RelSpread([]float64{0, 1e6, 2e6})
+	if !errors.Is(err, ErrZeroMedian) {
+		t.Errorf("RelSpread(0,1e6,2e6) error = %v, want ErrZeroMedian", err)
+	}
+	// The MAD cannot be the discriminator: this set has MAD 0 (three of
+	// five samples sit on the median) yet plainly disperses, so it is
+	// degenerate, not quiet.
+	_, err = RelSpread([]float64{0, 10, 0, 10, 10})
+	if !errors.Is(err, ErrZeroMedian) {
+		t.Errorf("RelSpread(0,10,0,10,10) error = %v, want ErrZeroMedian", err)
+	}
+	// Denormal baseline: same story — the division would overflow.
+	_, err = RelSpread([]float64{5e-324, 1, 2})
+	if !errors.Is(err, ErrZeroMedian) {
+		t.Errorf("RelSpread(denormal,1,2) error = %v, want ErrZeroMedian", err)
+	}
+	// Negative samples are still rejected outright (durations cannot be
+	// negative) and never reach the degenerate path.
+	if _, err := RelSpread([]float64{-1, 0, 1}); err == nil || errors.Is(err, ErrZeroMedian) {
+		t.Errorf("RelSpread(-1,0,1) error = %v, want a non-typed rejection", err)
+	}
+	// Every defined result must be finite.
+	for _, xs := range [][]float64{{0, 0, 0}, {1, 1, 1}, {1, 2, 3}, {minNormal, 1}} {
+		if got, err := RelSpread(xs); err == nil && (math.IsNaN(got) || math.IsInf(got, 0)) {
+			t.Errorf("RelSpread(%v) = %v, want finite", xs, got)
+		}
 	}
 }

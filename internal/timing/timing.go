@@ -90,22 +90,62 @@ func (q *QuantizedClock) Now() ptime.Duration {
 // whether readings come from real time.
 func (q *QuantizedClock) RealTime() bool { return IsRealTime(q.Base) }
 
+// ExactResolver is an optional Clock capability: a clock that is exact
+// — it advances only when simulated work is charged to it, never on a
+// read — knows its own resolution and reports it directly. The
+// simulator's virtual clock returns 1 (one ptime unit).
+//
+// EstimateResolution short-circuits on this capability. Probing such a
+// clock is provably futile: reads charge no work, so no probe loop can
+// ever observe a transition, and the loop would burn its entire read
+// budget (~8ms of host time per BenchLoop call) only to conclude what
+// the capability already states. The returned value is identical to
+// what the exhausted probe would report, so the fast path changes
+// nothing observable — only how long it takes to observe it.
+type ExactResolver interface {
+	ExactResolution() ptime.Duration
+}
+
 // EstimateResolution measures the clock's effective resolution: the
 // smallest positive difference observed between consecutive readings.
 // For a quantized clock this converges to the quantum; for a fine clock
-// it converges to the read cost.
+// it converges to the read cost. Exact clocks (ExactResolver) are not
+// probed at all.
+//
+// Probing is capped two ways: by a raw read budget (a stuck clock —
+// one that never advances — exhausts it and is treated as exact), and
+// by the span of clock time already probed (a very coarse quantized
+// clock stops as soon as one full quantum has been observed rather
+// than waiting out four of them). Both caps bound the harness's
+// calibration cost on degenerate clocks without changing the estimate
+// for sane ones: the returned value is the minimum positive delta, and
+// every delta of a quantized clock equals its quantum.
 func EstimateResolution(c Clock) ptime.Duration {
+	harness.resolutions.Add(1)
+	if er, ok := c.(ExactResolver); ok {
+		if r := er.ExactResolution(); r > 0 {
+			harness.lastRes.Store(int64(r))
+			return r
+		}
+	}
 	// Probe until several tick transitions are seen. A 10ms-quantum
 	// clock needs many raw reads before it ticks even once, so the read
-	// budget is large; a stuck (virtual) clock exhausts the budget and
-	// is treated as exact.
+	// budget is large; a stuck clock exhausts the budget and is treated
+	// as exact.
 	const (
 		maxReads        = 2_000_000
 		wantTransitions = 4
+		// maxProbeSpan stops probing once this much clock time has been
+		// covered and at least one transition was seen: a quantum
+		// coarser than maxProbeSpan/wantTransitions would otherwise pay
+		// wantTransitions full quanta of real waiting for no better an
+		// estimate.
+		maxProbeSpan = 250 * ptime.Millisecond
 	)
 	best := ptime.Duration(0)
 	transitions := 0
-	last := c.Now()
+	first := c.Now()
+	last := first
 	for i := 0; i < maxReads && transitions < wantTransitions; i++ {
 		now := c.Now()
 		if d := now - last; d > 0 {
@@ -114,13 +154,17 @@ func EstimateResolution(c Clock) ptime.Duration {
 			}
 			transitions++
 			last = now
+			if now-first >= maxProbeSpan {
+				break
+			}
 		}
 	}
 	if best == 0 {
-		// The clock never advanced during probing (a virtual clock with
-		// no work charged). Treat it as exact.
+		// The clock never advanced during probing (a stuck clock).
+		// Treat it as exact.
 		best = 1
 	}
+	harness.lastRes.Store(int64(best))
 	return best
 }
 
@@ -220,14 +264,17 @@ func BenchLoop(c Clock, opts Options, op func(n int64) error) (Measurement, erro
 }
 
 // BenchLoopCtx is BenchLoop with cancellation: the context is checked
-// between calibration steps and between timed batches, so a cancelled
-// or deadlined run stops at the next batch boundary rather than
-// completing the full sample schedule.
+// between calibration steps, before the warm-up batch, and between
+// timed batches, so a cancelled or deadlined run stops at the next
+// batch boundary rather than completing the full sample schedule —
+// including a cancellation that lands mid-auto-scaling, which would
+// otherwise still pay the (possibly huge) warm-up batch.
 func BenchLoopCtx(ctx context.Context, c Clock, opts Options, op func(n int64) error) (Measurement, error) {
 	opts, err := opts.Normalize()
 	if err != nil {
 		return Measurement{}, err
 	}
+	probe := ProbeFrom(ctx)
 	res := opts.Resolution
 	if res <= 0 {
 		res = EstimateResolution(c)
@@ -246,6 +293,10 @@ func BenchLoopCtx(ctx context.Context, c Clock, opts Options, op func(n int64) e
 		elapsed, err := timeBatch(c, op, n)
 		if err != nil {
 			return Measurement{}, err
+		}
+		harness.calibrations.Add(1)
+		if probe != nil {
+			probe.Sample(elapsed, n, false)
 		}
 		if elapsed >= target {
 			break
@@ -266,8 +317,16 @@ func BenchLoopCtx(ctx context.Context, c Clock, opts Options, op func(n int64) e
 		}
 		n = next
 	}
+	if probe != nil {
+		probe.Calibrated(n, res)
+	}
 
 	if !opts.NoWarmup {
+		// A cancellation that arrived during the auto-scaling phase must
+		// not buy one more full batch: check before warming up.
+		if err := ctx.Err(); err != nil {
+			return Measurement{}, err
+		}
 		if err := op(n); err != nil {
 			return Measurement{}, err
 		}
@@ -283,11 +342,16 @@ func BenchLoopCtx(ctx context.Context, c Clock, opts Options, op func(n int64) e
 		if err != nil {
 			return Measurement{}, err
 		}
+		harness.samples.Add(1)
+		if probe != nil {
+			probe.Sample(elapsed, n, true)
+		}
 		samples = append(samples, elapsed)
 		if best == 0 || elapsed < best {
 			best = elapsed
 		}
 	}
+	harness.benchLoops.Add(1)
 	m := Measurement{PerOp: best.DivN(n), N: n, Samples: samples}
 	if rec := RecorderFrom(ctx); rec != nil {
 		rec.Record(m)

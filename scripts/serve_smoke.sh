@@ -1,0 +1,46 @@
+#!/bin/sh
+# serve_smoke.sh boots a short real run with `lmbench -serve` on an
+# ephemeral port and proves the three observability endpoints answer
+# while the run is live. Driven by `make serve-smoke`.
+set -eu
+
+GO=${GO:-go}
+bin=$(mktemp -t lmbench-smoke.XXXXXX)
+err=$(mktemp -t lmbench-smoke-err.XXXXXX)
+pid=
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -f "$bin" "$err"
+}
+trap cleanup EXIT INT TERM
+
+$GO build -o "$bin" ./cmd/lmbench
+
+# The server announces its bound address on stderr; :0 keeps the smoke
+# free of port collisions.
+"$bin" -machine 'Linux/i686' -fast -serve 127.0.0.1:0 -out /dev/null 2>"$err" &
+pid=$!
+
+addr=
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's|^observability: http://\([^/ ]*\).*|\1|p' "$err")
+    [ -n "$addr" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "serve-smoke: run exited before serving:" >&2
+        cat "$err" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "serve-smoke: server never announced an address" >&2
+    cat "$err" >&2
+    exit 1
+fi
+
+curl -fsS "http://$addr/healthz" | grep -q '^ok$'
+curl -fsS "http://$addr/metrics" | grep -q '^lmbench_'
+curl -fsS "http://$addr/progress" | grep -q '"machines"'
+echo "serve-smoke: ok ($addr)"
