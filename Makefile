@@ -4,7 +4,7 @@ GO ?= go
 #   make chaos LMBENCH_CHAOS_SEED=99
 LMBENCH_CHAOS_SEED ?= 1
 
-.PHONY: all build vet test race chaos verify bench bench-smoke serve-smoke fuzz-smoke profile
+.PHONY: all build vet test race chaos verify bench bench-smoke serve-smoke fleet-smoke fuzz-smoke profile
 
 # Benchmarks recorded in BENCH_pr3.json: the Figure-1 sweep plus the
 # memory-heavy tables (the simulator hot paths), and the simmem
@@ -24,12 +24,12 @@ vet:
 test:
 	$(GO) test ./...
 
-# The scheduler, timing harness, fault-injection wrapper, and
-# observability layer are the concurrency-sensitive packages; run them
-# (including the journal, resume, chaos, and metrics-scrape suites)
-# under the race detector.
+# The scheduler, timing harness, fault-injection wrapper, fleet
+# coordinator, and observability layer are the concurrency-sensitive
+# packages; run them (including the journal, resume, chaos, worker-kill
+# and metrics-scrape suites) under the race detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/timing/... ./internal/faults/... ./internal/obs/...
+	$(GO) test -race ./internal/core/... ./internal/timing/... ./internal/faults/... ./internal/obs/... ./internal/fleet/...
 
 # chaos runs the fault-injection scheduler suite on its own, race-
 # enabled and verbose, with a fixed seed for reproducible streams.
@@ -58,6 +58,13 @@ bench-smoke:
 serve-smoke:
 	GO="$(GO)" ./scripts/serve_smoke.sh
 
+# fleet-smoke runs a short evaluation serially and across a 3-process
+# worker fleet and proves the databases are byte-identical; part of
+# verify so multi-process execution cannot silently diverge from the
+# serial path.
+fleet-smoke:
+	GO="$(GO)" ./scripts/fleet_smoke.sh
+
 # fuzz-smoke runs each results-codec fuzz target briefly over its
 # committed seed corpus — a CI-sized slice of `go test -fuzz`.
 fuzz-smoke:
@@ -71,8 +78,9 @@ profile:
 	@echo "wrote cpu.pprof and mem.pprof"
 
 # verify is the tier-1 gate: everything must build, vet clean, pass
-# tests, the concurrent scheduler and observability layer must be
-# race-clean, the bench harness must run, the -serve endpoints must
-# answer during a live run, and the results codec must survive a fuzz
+# tests, the concurrent scheduler, fleet coordinator and observability
+# layer must be race-clean, the bench harness must run, the -serve
+# endpoints must answer during a live run, a worker fleet must produce
+# serial-identical bytes, and the results codec must survive a fuzz
 # smoke.
-verify: build vet test race bench-smoke serve-smoke fuzz-smoke
+verify: build vet test race bench-smoke serve-smoke fleet-smoke fuzz-smoke

@@ -1,0 +1,269 @@
+package lmbench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/paper"
+)
+
+// Bench is a configured benchmark run, assembled by New from Options.
+// The zero configuration is not runnable — at least one machine is
+// required — but every other knob has the paper's default.
+type Bench struct {
+	machines       []Machine
+	opts           Options
+	sinks          core.MultiSink
+	only           []string
+	extended       bool
+	parallel       int
+	timeout        time.Duration
+	retries        int
+	retryBackoff   time.Duration
+	maxRSD         float64
+	qualityRetries int
+	journalPath    string
+	fleetWorkers   int
+	fleetConnect   []string
+}
+
+// Option configures a Bench; see the With* constructors.
+type Option func(*Bench)
+
+// New assembles a benchmark run from options:
+//
+//	rep, err := lmbench.New(
+//		lmbench.WithMachine(m),
+//		lmbench.WithOptions(lmbench.Options{}),
+//		lmbench.WithSink(lmbench.NewTextSink(os.Stderr)),
+//	).Run(ctx)
+//
+// is the builder form of Run. Add WithFleet(n) to execute across n
+// worker processes, WithJournal(path) to make the run resumable, and
+// WithMachine repeatedly to benchmark several machines into one
+// database.
+func New(options ...Option) *Bench {
+	b := &Bench{}
+	for _, o := range options {
+		o(b)
+	}
+	return b
+}
+
+// WithMachine adds one benchmark target. Repeat to run several
+// machines; results merge in the order given.
+func WithMachine(m Machine) Option {
+	return func(b *Bench) { b.machines = append(b.machines, m) }
+}
+
+// WithOptions sets harness settings and workload sizes (the zero
+// value selects the paper's defaults).
+func WithOptions(o Options) Option {
+	return func(b *Bench) { b.opts = o }
+}
+
+// WithSink adds one event sink. Repeat to fan the stream out; every
+// sink sees every event.
+func WithSink(s EventSink) Option {
+	return func(b *Bench) {
+		if s != nil {
+			b.sinks = append(b.sinks, s)
+		}
+	}
+}
+
+// WithOnly restricts the run to these experiment IDs.
+func WithOnly(ids ...string) Option {
+	return func(b *Bench) { b.only = append(b.only, ids...) }
+}
+
+// WithExtended adds the §7 future-work experiments; see Extensions.
+func WithExtended() Option {
+	return func(b *Bench) { b.extended = true }
+}
+
+// WithParallel sets the in-process worker-pool size for multi-machine
+// runs (simulated machines run concurrently; wall-clock machines stay
+// serialized). Ignored under WithFleet, where parallelism comes from
+// the worker processes.
+func WithParallel(n int) Option {
+	return func(b *Bench) { b.parallel = n }
+}
+
+// WithTimeout bounds each experiment attempt.
+func WithTimeout(d time.Duration) Option {
+	return func(b *Bench) { b.timeout = d }
+}
+
+// WithRetries re-runs a failed experiment up to n times with doubling
+// backoff before giving up; WithRetryBackoff overrides the initial
+// delay (default 100ms).
+func WithRetries(n int) Option {
+	return func(b *Bench) { b.retries = n }
+}
+
+// WithRetryBackoff sets the initial retry delay; see WithRetries.
+func WithRetryBackoff(d time.Duration) Option {
+	return func(b *Bench) { b.retryBackoff = d }
+}
+
+// WithMaxRSD enables the measurement quality gate: results whose
+// relative standard deviation exceeds frac are re-measured up to
+// retries times (0 keeps the best attempt anyway).
+func WithMaxRSD(frac float64, retries int) Option {
+	return func(b *Bench) { b.maxRSD, b.qualityRetries = frac, retries }
+}
+
+// WithJournal makes the run crash-safe and resumable through the file
+// at path: every completed experiment appends one record, synced as
+// written. If the file already holds records from an interrupted run,
+// they are replayed instead of re-executed (a torn final record is
+// truncated), and the run keeps journaling to the same file — so a
+// resumed run that crashes again is itself resumable. Serial,
+// parallel and fleet runs write the identical format and can resume
+// one another's journals.
+func WithJournal(path string) Option {
+	return func(b *Bench) { b.journalPath = path }
+}
+
+// WithFleet executes the run across n worker processes — re-execs of
+// the current binary, which is why main must call MaybeChild first.
+// Fleet runs support simulated machines only (workers rebuild them
+// from their profiles) and produce a database byte-identical to the
+// serial run. See also WithFleetConnect.
+func WithFleet(n int) Option {
+	return func(b *Bench) { b.fleetWorkers = n }
+}
+
+// WithFleetConnect adds remote worker daemons (processes running
+// fleet serve mode, e.g. `lmbench -fleet-listen addr`) to the pool.
+// Implies fleet execution even with WithFleet(0).
+func WithFleetConnect(addrs ...string) Option {
+	return func(b *Bench) { b.fleetConnect = append(b.fleetConnect, addrs...) }
+}
+
+// Report is the outcome of a Bench run: the merged results database
+// and, per machine, the experiments its backend could not support.
+type Report struct {
+	DB *DB
+	// Skipped maps machine name to skipped experiment IDs.
+	Skipped map[string][]string
+}
+
+// Render writes every populated table and figure in the paper's
+// presentation format.
+func (r *Report) Render(w io.Writer) error { return paper.RenderAll(w, r.DB) }
+
+// RenderTable writes one table ("table2" ... "table17").
+func (r *Report) RenderTable(w io.Writer, id string) error {
+	return paper.RenderTable(w, id, r.DB)
+}
+
+// Run executes the configured benchmark and returns its Report. The
+// context cancels or deadlines the run between measurement batches.
+func (b *Bench) Run(ctx context.Context) (*Report, error) {
+	if len(b.machines) == 0 {
+		return nil, errors.New("lmbench: no machines configured (use WithMachine)")
+	}
+	var only map[string]bool
+	if len(b.only) > 0 {
+		only = map[string]bool{}
+		for _, id := range b.only {
+			only[id] = true
+		}
+	}
+	journal, replay, closeJournal, err := openJournalPath(b.journalPath)
+	if err != nil {
+		return nil, err
+	}
+	defer closeJournal()
+
+	db := &DB{}
+	var events EventSink
+	if len(b.sinks) > 0 {
+		events = b.sinks
+	}
+
+	var skipped map[string][]string
+	if b.fleetWorkers > 0 || len(b.fleetConnect) > 0 {
+		names, err := fleet.MachineNames(b.machines)
+		if err != nil {
+			return nil, err
+		}
+		coord := &fleet.Coordinator{
+			Machines: names,
+			Opts:     b.opts,
+			Only:     only,
+			Extended: b.extended,
+			Events:   events,
+			Workers:  b.fleetWorkers,
+			Connect:  b.fleetConnect,
+			Timeout:  b.timeout, Retries: b.retries, RetryBackoff: b.retryBackoff,
+			MaxRSD: b.maxRSD, QualityRetries: b.qualityRetries,
+			Journal: journal, Resume: replay,
+		}
+		skipped, err = coord.Run(ctx, db)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		runner := &core.Runner{
+			Machines: b.machines,
+			Opts:     b.opts,
+			Parallel: b.parallel,
+			Events:   events,
+			Only:     only,
+			Extended: b.extended,
+			Timeout:  b.timeout, Retries: b.retries, RetryBackoff: b.retryBackoff,
+			MaxRSD: b.maxRSD, QualityRetries: b.qualityRetries,
+			Journal: journal, Resume: replay,
+		}
+		skipped, err = runner.Run(ctx, db)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Report{DB: db, Skipped: skipped}, nil
+}
+
+// openJournalPath opens path with create-or-resume semantics: a new or
+// empty file starts a fresh journal; one with records replays them and
+// keeps appending past the last valid record.
+func openJournalPath(path string) (*core.JournalWriter, *core.JournalReplay, func(), error) {
+	if path == "" {
+		return nil, nil, func() {}, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	closeF := func() { _ = f.Close() }
+	replay, err := core.ReadJournal(f)
+	if err != nil {
+		closeF()
+		return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := f.Truncate(replay.ValidBytes); err != nil {
+		closeF()
+		return nil, nil, nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		closeF()
+		return nil, nil, nil, err
+	}
+	if replay.ValidBytes == 0 {
+		jw, err := core.NewJournalWriter(f)
+		if err != nil {
+			closeF()
+			return nil, nil, nil, err
+		}
+		return jw, nil, closeF, nil
+	}
+	return core.AppendJournalWriter(f), replay, closeF, nil
+}

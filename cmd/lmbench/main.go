@@ -19,6 +19,9 @@
 //	lmbench -resume run.jnl          # replay a journal, run the remainder
 //	lmbench -chaos 'err=0.3,seed=1'  # inject faults (testing the harness)
 //	lmbench -max-rsd 0.05            # re-measure experiments noisier than 5%
+//	lmbench -fleet-workers 4         # run across 4 worker processes
+//	lmbench -fleet-listen :7777      # serve as a remote worker daemon
+//	lmbench -fleet-connect host:7777 # add a remote worker to the pool
 package main
 
 import (
@@ -26,17 +29,19 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 
+	lmbench "repro"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/fleet"
 	"repro/internal/host"
 	"repro/internal/machines"
-	"repro/internal/obs"
 	"repro/internal/paper"
 	"repro/internal/ptime"
 	"repro/internal/results"
@@ -44,7 +49,7 @@ import (
 )
 
 func main() {
-	host.MaybeChild()
+	lmbench.MaybeChild()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "lmbench:", err)
 		os.Exit(1)
@@ -75,10 +80,31 @@ func run() error {
 		shardsFlag  = flag.Int("shards", 1, "workers for independent-point sweeps on cloneable (simulated) machines; results are byte-identical at any value")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		fleetFlag   = flag.Int("fleet-workers", 0, "run across this many worker processes (simulated machines only; results are byte-identical)")
+		workerFlag  = flag.Bool("worker", false, "serve fleet work units on stdin/stdout, then exit (what a spawned worker does)")
+		listenFlag  = flag.String("fleet-listen", "", "serve as a remote fleet worker daemon on this address")
 	)
-	var merges multiFlag
+	var merges, fleetConnect multiFlag
 	flag.Var(&merges, "merge", "preload a results database (repeatable)")
+	flag.Var(&fleetConnect, "fleet-connect", "add a remote worker daemon to the fleet pool (repeatable)")
 	flag.Parse()
+
+	if *workerFlag {
+		return fleet.Work(context.Background(), os.Stdin, os.Stdout)
+	}
+	if *listenFlag != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		ln, err := net.Listen("tcp", *listenFlag)
+		if err != nil {
+			return fmt.Errorf("-fleet-listen: %w", err)
+		}
+		if !*quietFlag {
+			fmt.Fprintf(os.Stderr, "fleet worker daemon on %s\n", ln.Addr())
+		}
+		return fleet.Serve(ctx, ln)
+	}
+	fleetMode := *fleetFlag > 0 || len(fleetConnect) > 0
 
 	if *listFlag {
 		fmt.Println("simulated machines:")
@@ -162,6 +188,9 @@ func run() error {
 	}
 
 	var chaotic []*faults.Machine
+	if *chaosFlag != "" && fleetMode {
+		return fmt.Errorf("-chaos does not compose with fleet execution: fault wrappers cannot cross a process boundary")
+	}
 	if *chaosFlag != "" {
 		plan, err := faults.ParsePlan(*chaosFlag)
 		if err != nil {
@@ -222,10 +251,10 @@ func run() error {
 
 	var sinks core.MultiSink
 	if !*quietFlag {
-		if *parFlag > 1 && len(targets) > 1 {
-			sinks = append(sinks, core.NewPrefixedTextSink(os.Stderr))
+		if (*parFlag > 1 || fleetMode) && len(targets) > 1 {
+			sinks = append(sinks, lmbench.NewPrefixedTextSink(os.Stderr))
 		} else {
-			sinks = append(sinks, core.NewTextSink(os.Stderr))
+			sinks = append(sinks, lmbench.NewTextSink(os.Stderr))
 		}
 	}
 	if *traceFlag != "" {
@@ -234,14 +263,14 @@ func run() error {
 			return err
 		}
 		defer func() { _ = tf.Close() }()
-		sinks = append(sinks, core.NewJSONLSink(tf))
+		sinks = append(sinks, lmbench.NewJSONLSink(tf))
 	}
 	if *spansFlag != "" {
 		sf, err := os.Create(*spansFlag)
 		if err != nil {
 			return err
 		}
-		tr := obs.NewTraceSink(sf).WithSamples()
+		tr := lmbench.NewTraceSink(sf).WithSamples()
 		defer func() {
 			_ = tr.Close() // emit the root suite span
 			_ = sf.Close()
@@ -254,20 +283,24 @@ func run() error {
 		return err
 	}
 
+	var fleetObs *lmbench.FleetMetrics
 	if *serveFlag != "" {
-		registry := obs.NewRegistry()
-		progress := obs.NewProgress()
+		registry := lmbench.NewRegistry()
+		progress := lmbench.NewProgress()
 		for _, m := range targets {
 			progress.SetPlan(m.Name(), planSize(only, *extFlag))
 		}
-		sinks = append(sinks, obs.NewMetricsSink(registry), progress)
-		obs.RegisterHarness(registry)
+		sinks = append(sinks, lmbench.NewMetricsSink(registry), progress)
+		lmbench.RegisterHarness(registry)
 		if journal != nil {
-			obs.RegisterJournal(registry, journal)
+			lmbench.RegisterJournal(registry, journal)
+		}
+		if fleetMode {
+			fleetObs = lmbench.NewFleetMetrics(registry)
 		}
 		if len(chaotic) > 0 {
 			injected := chaotic
-			obs.RegisterFaults(registry, func() (calls, errors, stalls, spikes int64) {
+			lmbench.RegisterFaults(registry, func() (calls, errors, stalls, spikes int64) {
 				for _, f := range injected {
 					st := f.Stats()
 					calls += int64(st.Calls)
@@ -278,7 +311,7 @@ func run() error {
 				return
 			})
 		}
-		srv := &obs.Server{Registry: registry, Progress: progress}
+		srv := &lmbench.Server{Registry: registry, Progress: progress}
 		addr, stopServe, err := srv.Start(ctx, *serveFlag)
 		if err != nil {
 			return fmt.Errorf("-serve: %w", err)
@@ -294,23 +327,53 @@ func run() error {
 		sink = sinks
 	}
 
-	runner := &core.Runner{
-		Machines:       targets,
-		Opts:           opts,
-		Parallel:       *parFlag,
-		Events:         sink,
-		Only:           only,
-		Extended:       *extFlag,
-		Timeout:        *timeoutFlag,
-		Retries:        *retryFlag,
-		MaxRSD:         *rsdFlag,
-		QualityRetries: *qretryFlag,
-		Journal:        journal,
-		Resume:         replay,
-	}
-	skipped, err := runner.Run(ctx, db)
-	if err != nil {
-		return err
+	var skipped map[string][]string
+	if fleetMode {
+		names, err := fleet.MachineNames(targets)
+		if err != nil {
+			return err
+		}
+		coord := &fleet.Coordinator{
+			Machines:       names,
+			Opts:           opts,
+			Only:           only,
+			Extended:       *extFlag,
+			Events:         sink,
+			Workers:        *fleetFlag,
+			Connect:        fleetConnect,
+			Timeout:        *timeoutFlag,
+			Retries:        *retryFlag,
+			MaxRSD:         *rsdFlag,
+			QualityRetries: *qretryFlag,
+			Journal:        journal,
+			Resume:         replay,
+		}
+		if fleetObs != nil {
+			coord.Obs = fleetObs
+		}
+		skipped, err = coord.Run(ctx, db)
+		if err != nil {
+			return err
+		}
+	} else {
+		runner := &core.Runner{
+			Machines:       targets,
+			Opts:           opts,
+			Parallel:       *parFlag,
+			Events:         sink,
+			Only:           only,
+			Extended:       *extFlag,
+			Timeout:        *timeoutFlag,
+			Retries:        *retryFlag,
+			MaxRSD:         *rsdFlag,
+			QualityRetries: *qretryFlag,
+			Journal:        journal,
+			Resume:         replay,
+		}
+		skipped, err = runner.Run(ctx, db)
+		if err != nil {
+			return err
+		}
 	}
 	if len(chaotic) > 0 && !*quietFlag {
 		for _, f := range chaotic {
@@ -409,23 +472,7 @@ func planSize(only map[string]bool, extended bool) int {
 	if extended {
 		exps = append(exps, core.Extensions()...)
 	}
-	seen := map[string]bool{}
-	n := 0
-	for _, e := range exps {
-		if only != nil && !only[e.ID] {
-			continue
-		}
-		key := e.RunKey
-		if key == "" {
-			key = e.ID
-		}
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		n++
-	}
-	return n
+	return len(core.GroupExperiments(exps, only))
 }
 
 // multiFlag collects repeatable string flags.

@@ -261,6 +261,29 @@ type Options struct {
 	SweepShards int
 }
 
+// SweepWorkers decides how many workers an independent-point sweep of
+// n points uses on machine m under o.SweepShards. This is the single
+// place the shard request is clamped: zero, one or negative requests
+// mean serial, machines that cannot Clone always run serially (there is
+// no second machine to shard onto), and the worker count never exceeds
+// the point count. Normalize rejects negative SweepShards up front, but
+// the clamp here is defensive too — a caller that skipped Normalize
+// (or a worker interacting with a Cloner-less machine) still degrades
+// to a correct serial sweep instead of panicking in the fan-out.
+func (o Options) SweepWorkers(m Machine, n int) int {
+	shards := o.SweepShards
+	if shards <= 1 || n <= 1 {
+		return 1
+	}
+	if _, ok := m.(Cloner); !ok {
+		return 1
+	}
+	if shards > n {
+		shards = n
+	}
+	return shards
+}
+
 // Normalize validates o and fills in the paper's defaults for unset
 // (zero or empty) fields. Zero values mean "use the default"; negative
 // sizes, non-positive ring sizes and negative footprints are

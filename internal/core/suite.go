@@ -220,19 +220,8 @@ func (s *Suite) Run(ctx context.Context, db *results.DB) (skipped []string, err 
 			exps = append(exps, Extensions()...)
 		}
 	}
-	ran := map[string]bool{}
-	for _, exp := range exps {
-		if s.Only != nil && !s.Only[exp.ID] {
-			continue
-		}
-		key := exp.RunKey
-		if key == "" {
-			key = exp.ID
-		}
-		if ran[key] {
-			continue
-		}
-		ran[key] = true
+	for _, group := range GroupExperiments(exps, s.Only) {
+		exp, key := group.Exp, group.Key
 		if err := ctx.Err(); err != nil {
 			return skipped, err
 		}

@@ -18,21 +18,6 @@ import (
 // encodes byte-identically to a serial one, which TestShardedSweep
 // asserts under the race detector.
 
-// sweepWorkers decides how many workers a sweep of n points uses under
-// the given shard request on machine m.
-func sweepWorkers(m Machine, shards, n int) int {
-	if shards <= 1 || n <= 1 {
-		return 1
-	}
-	if _, ok := m.(Cloner); !ok {
-		return 1
-	}
-	if shards > n {
-		shards = n
-	}
-	return shards
-}
-
 // runSweep evaluates points 0..n-1. setup prepares one machine for the
 // sweep (allocations, probes) and returns the point evaluator, which
 // writes its result into a caller-owned slot for its index — slots are
@@ -41,7 +26,7 @@ func sweepWorkers(m Machine, shards, n int) int {
 // evaluator must make each point self-contained (the sweeps do so by
 // flushing caches first).
 func runSweep(ctx context.Context, m Machine, shards, n int, setup func(Machine) (func(context.Context, int) error, error)) error {
-	workers := sweepWorkers(m, shards, n)
+	workers := Options{SweepShards: shards}.SweepWorkers(m, n)
 	if workers == 1 {
 		run, err := setup(m)
 		if err != nil {

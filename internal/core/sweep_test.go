@@ -93,6 +93,38 @@ func TestShardedSweepHonorsCancellation(t *testing.T) {
 	}
 }
 
+// TestSweepWorkersClamp pins the centralized shard clamp: zero and
+// negative requests (a caller that skipped Normalize), Cloner-less
+// machines, and requests beyond the point count must all degrade to a
+// correct worker count in the one place every sweep consults.
+func TestSweepWorkersClamp(t *testing.T) {
+	cloneable := simMachine(t, "Linux/i686")
+	plain := uncloneable{cloneable}
+	cases := []struct {
+		name   string
+		shards int
+		m      core.Machine
+		points int
+		want   int
+	}{
+		{"zero", 0, cloneable, 10, 1},
+		{"negative", -3, cloneable, 10, 1},
+		{"one", 1, cloneable, 10, 1},
+		{"non-cloner", 8, plain, 10, 1},
+		{"non-cloner-negative", -8, plain, 10, 1},
+		{"more-shards-than-points", 8, cloneable, 3, 3},
+		{"single-point", 8, cloneable, 1, 1},
+		{"normal", 4, cloneable, 10, 4},
+	}
+	for _, c := range cases {
+		opts := core.Options{SweepShards: c.shards}
+		if got := opts.SweepWorkers(c.m, c.points); got != c.want {
+			t.Errorf("%s: SweepWorkers(shards=%d, points=%d) = %d, want %d",
+				c.name, c.shards, c.points, got, c.want)
+		}
+	}
+}
+
 func TestNegativeSweepShardsRejected(t *testing.T) {
 	opts := core.Options{SweepShards: -1}
 	if _, err := opts.Normalize(); err == nil {

@@ -1,0 +1,83 @@
+package core
+
+// This file extracts the suite's unit of scheduling — the experiment
+// group — into a shared helper. A group is the set of experiments that
+// share one Run invocation (Experiment.RunKey; e.g. Figure 2 and
+// Table 10 come from the same context-switch sweep), and it is the
+// granularity at which the suite executes, journals, replays, and at
+// which the fleet coordinator partitions work across worker processes.
+// Suite.Run, cmd/lmbench's progress planning and internal/fleet all
+// derive their iteration from GroupExperiments, so "what counts as one
+// unit of work" is defined exactly once.
+
+// ExperimentGroup is one unit of suite execution: the experiments that
+// share a single Run invocation, after Only filtering.
+type ExperimentGroup struct {
+	// Key is the group's run key (Experiment.RunKey, or the ID when
+	// the experiment runs alone): the journal and replay key.
+	Key string
+	// IDs are the member experiment IDs that survived the Only filter,
+	// in presentation order.
+	IDs []string
+	// Exp is the first member: the experiment whose Run function
+	// executes on behalf of the whole group.
+	Exp Experiment
+}
+
+// GroupExperiments folds an experiment list into its execution groups,
+// applying the Only filter (nil selects all) and deduplicating shared
+// RunKeys exactly the way Suite.Run iterates. The returned order is
+// the deterministic suite iteration order.
+func GroupExperiments(exps []Experiment, only map[string]bool) []ExperimentGroup {
+	var groups []ExperimentGroup
+	index := map[string]int{}
+	for _, exp := range exps {
+		if only != nil && !only[exp.ID] {
+			continue
+		}
+		key := exp.RunKey
+		if key == "" {
+			key = exp.ID
+		}
+		if i, ok := index[key]; ok {
+			groups[i].IDs = append(groups[i].IDs, exp.ID)
+			continue
+		}
+		index[key] = len(groups)
+		groups = append(groups, ExperimentGroup{Key: key, IDs: []string{exp.ID}, Exp: exp})
+	}
+	return groups
+}
+
+// WorkUnit is one schedulable unit of a multi-machine run: one
+// experiment group on one machine, identified by name. Units are what
+// the fleet coordinator dispatches to worker processes; a unit's result
+// is exactly what a serial Suite.Run produces for that group, so
+// assembling unit results in unit order reproduces the serial database
+// byte for byte.
+type WorkUnit struct {
+	// Seq is the unit's position in the deterministic merge order
+	// (machine order × group order).
+	Seq int
+	// Machine is the machine's resolvable profile name.
+	Machine string
+	// Key is the experiment group's run key.
+	Key string
+	// IDs are the group's member experiment IDs (the Suite Only set a
+	// worker runs).
+	IDs []string
+}
+
+// UnitsFor enumerates the work units of running the given experiment
+// groups on the named machines, in merge order.
+func UnitsFor(machines []string, groups []ExperimentGroup) []WorkUnit {
+	units := make([]WorkUnit, 0, len(machines)*len(groups))
+	for _, m := range machines {
+		for _, g := range groups {
+			units = append(units, WorkUnit{
+				Seq: len(units), Machine: m, Key: g.Key, IDs: g.IDs,
+			})
+		}
+	}
+	return units
+}

@@ -1,0 +1,129 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// workerConn is the coordinator's handle on one worker, local or
+// remote. Send/recv follow the session protocol; Close tears the
+// worker down hard (kill for processes, close for connections), which
+// unblocks any pending recv.
+type workerConn interface {
+	id() string
+	send(*wireMsg) error
+	recv() (*wireMsg, error)
+	close()
+	// pid returns the worker's process ID, or 0 for remote workers.
+	pid() int
+}
+
+// procWorker is a locally spawned worker process: a re-exec of the
+// current binary with WorkerEnv set, speaking the protocol on its
+// stdin/stdout pipes. Stderr passes through so a worker panic is
+// visible.
+type procWorker struct {
+	name string
+	cmd  *exec.Cmd
+	s    *session
+	in   io.WriteCloser
+
+	waitOnce sync.Once
+	waitErr  error
+}
+
+// spawnWorker re-executes the current binary as a fleet worker.
+func spawnWorker(name string) (*procWorker, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: locate executable: %w", err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), WorkerEnv+"=1")
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("fleet: spawn worker: %w", err)
+	}
+	return &procWorker{name: name, cmd: cmd, s: newSession(stdout, stdin), in: stdin}, nil
+}
+
+func (p *procWorker) id() string              { return p.name }
+func (p *procWorker) send(m *wireMsg) error   { return p.s.send(m) }
+func (p *procWorker) recv() (*wireMsg, error) { return p.s.recv() }
+func (p *procWorker) pid() int                { return p.cmd.Process.Pid }
+
+// close kills the worker process and reaps it. Idempotent: a worker
+// that already exited (or was killed externally) just gets reaped.
+func (p *procWorker) close() {
+	_ = p.in.Close()
+	_ = p.cmd.Process.Kill()
+	p.waitOnce.Do(func() { p.waitErr = p.cmd.Wait() })
+}
+
+// netWorker is a remote worker daemon reached over TCP; the connection
+// carries the same record-framed JSONL as the local pipes.
+type netWorker struct {
+	name string
+	conn net.Conn
+	s    *session
+}
+
+// Dial connects to a remote worker daemon (one started with Serve /
+// `lmbench -fleet-listen`) and returns the coordinator-side handle.
+func Dial(addr string) (*netWorker, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: dial worker %s: %w", addr, err)
+	}
+	return &netWorker{name: addr, conn: conn, s: newSession(conn, conn)}, nil
+}
+
+func (n *netWorker) id() string              { return n.name }
+func (n *netWorker) send(m *wireMsg) error   { return n.s.send(m) }
+func (n *netWorker) recv() (*wireMsg, error) { return n.s.recv() }
+func (n *netWorker) close()                  { _ = n.conn.Close() }
+func (n *netWorker) pid() int                { return 0 }
+
+// Serve runs a worker daemon: every accepted connection is one
+// coordinator session served by Work. It returns when ctx is cancelled
+// or the listener fails. Sessions are independent — a coordinator that
+// vanishes mid-unit costs only its own connection.
+func Serve(ctx context.Context, ln net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	go func() {
+		<-ctx.Done()
+		_ = ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return ctx.Err()
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { _ = conn.Close() }()
+			if err := Work(ctx, conn, conn); err != nil {
+				fmt.Fprintln(os.Stderr, "fleet worker session:", err)
+			}
+		}()
+	}
+}

@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/machines"
+	"repro/internal/results"
+)
+
+// WorkerEnv is the sentinel environment variable that turns a re-exec
+// of the current binary into a fleet worker serving the coordinator on
+// stdin/stdout. The coordinator sets it when spawning local workers;
+// MaybeWorker — reached through lmbench.MaybeChild, which every binary
+// using the suite already calls first — detects it before main gets
+// anywhere near flag parsing.
+const WorkerEnv = "LMBENCH_GO_FLEET_WORKER"
+
+// MaybeWorker turns the process into a fleet worker when WorkerEnv is
+// set: it serves work units on stdin/stdout until the coordinator
+// closes the pipe, then exits. It must run before the host backend's
+// child check has any side effects — in practice both are reached
+// through lmbench.MaybeChild, which checks the fork-child sentinel
+// first (fork children of a worker inherit WorkerEnv too and must still
+// exit immediately).
+func MaybeWorker() {
+	if os.Getenv(WorkerEnv) == "" {
+		return
+	}
+	if err := Work(context.Background(), os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lmbench fleet worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// Work serves one coordinator session: unit frames are read from r,
+// events stream back as the suite runs, and one result frame answers
+// each unit. It returns nil when the coordinator closes the stream and
+// an error on a protocol or I/O failure. Machines are built fresh from
+// their profiles and cached per name; the suite resets them before
+// every attempt, so a reused machine is indistinguishable from a new
+// one (core.Resetter) and unit results match a serial run exactly.
+func Work(ctx context.Context, r io.Reader, w io.Writer) error {
+	s := newSession(r, w)
+	cache := map[string]core.Machine{}
+	// Events and results share the write side; a mutex keeps frames
+	// whole even though the suite emits events on the run goroutine.
+	var wmu sync.Mutex
+	send := func(m *wireMsg) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return s.send(m)
+	}
+	for {
+		m, err := s.recv()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if m.Type != msgUnit {
+			return fmt.Errorf("fleet: worker got unexpected %q frame", m.Type)
+		}
+		if m.V != protoVersion {
+			return fmt.Errorf("fleet: protocol version %d, worker speaks %d", m.V, protoVersion)
+		}
+		res := runUnit(ctx, m, cache, send)
+		res.Type, res.Seq = msgResult, m.Seq
+		if err := send(res); err != nil {
+			return err
+		}
+	}
+}
+
+// runUnit executes one work unit and returns its result frame.
+func runUnit(ctx context.Context, m *wireMsg, cache map[string]core.Machine, send func(*wireMsg) error) *wireMsg {
+	mach, err := machineFor(m.Machine, cache)
+	if err != nil {
+		return &wireMsg{Err: err.Error()}
+	}
+	only := make(map[string]bool, len(m.IDs))
+	for _, id := range m.IDs {
+		only[id] = true
+	}
+	var opts core.Options
+	if m.Opts != nil {
+		opts = *m.Opts
+	}
+	suite := &core.Suite{
+		M: mach, Opts: opts, Only: only, Extended: m.Extended,
+		Timeout: m.Timeout, Retries: m.Retries, RetryBackoff: m.RetryBackoff,
+		MaxRSD: m.MaxRSD, QualityRetries: m.QualityRetries,
+		Events: forwardSink{seq: m.Seq, send: send},
+	}
+	sub := &results.DB{}
+	skipped, err := suite.Run(ctx, sub)
+	if err != nil {
+		return &wireMsg{Err: err.Error()}
+	}
+	return &wireMsg{Entries: sub.Entries(), Skipped: skipped}
+}
+
+// machineFor resolves a unit's machine name to a built backend,
+// reusing a previous build when the worker has one. Only built-in
+// simulated profiles are resolvable: they rebuild deterministically
+// from their profile, which is what makes a unit's result a function
+// of (machine name, group) alone on any worker.
+func machineFor(name string, cache map[string]core.Machine) (core.Machine, error) {
+	if m, ok := cache[name]; ok {
+		return m, nil
+	}
+	p, ok := machines.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown simulated machine %q", name)
+	}
+	m, err := machines.Build(p)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: build %q: %w", name, err)
+	}
+	cache[name] = m
+	return m, nil
+}
+
+// forwardSink streams the worker suite's events to the coordinator,
+// which replays them into the run's real sinks. Send failures are
+// dropped here — the result frame (or the broken pipe it hits) already
+// carries the session's fate, and an event must never abort a
+// measurement.
+type forwardSink struct {
+	seq  int
+	send func(*wireMsg) error
+}
+
+func (f forwardSink) Event(e core.Event) {
+	ev := e
+	_ = f.send(&wireMsg{Type: msgEvent, Seq: f.seq, Event: &ev})
+}
+
+// MachineNames maps benchmark targets to fleet-resolvable profile
+// names, in merge order. Fleet execution shards built-in simulated
+// machines only: a worker rebuilds the machine from its profile, which
+// has no meaning for the host backend (whose wall-clock serialization
+// is per-process) or for ad-hoc wrapped machines.
+func MachineNames(ms []core.Machine) ([]string, error) {
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		name := m.Name()
+		if _, ok := machines.ByName(name); !ok {
+			return nil, fmt.Errorf("fleet: machine %q is not a built-in simulated profile; fleet execution supports simulated machines only", name)
+		}
+		names[i] = name
+	}
+	return names, nil
+}

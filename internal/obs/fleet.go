@@ -1,0 +1,71 @@
+package obs
+
+import "time"
+
+// Metric names exported by FleetMetrics.
+const (
+	metricFleetWorkers      = "lmbench_fleet_workers_live"
+	metricFleetDeaths       = "lmbench_fleet_worker_deaths_total"
+	metricFleetQueued       = "lmbench_fleet_units_queued"
+	metricFleetInflight     = "lmbench_fleet_units_inflight"
+	metricFleetRetried      = "lmbench_fleet_units_retried_total"
+	metricFleetCompleted    = "lmbench_fleet_units_completed_total"
+	metricFleetDispatchSecs = "lmbench_fleet_dispatch_seconds"
+)
+
+// FleetMetrics aggregates the fleet coordinator's scheduling activity
+// into a Registry. It satisfies fleet.Observer (structurally — the
+// coordinator takes any implementation) and is safe for concurrent use
+// by the drive loops.
+type FleetMetrics struct {
+	workers          *Gauge
+	deaths           *Counter
+	queued, inflight *Gauge
+	retried          *Counter
+	completed        *Counter
+	dispatch         *Histogram
+}
+
+// NewFleetMetrics registers the fleet metric families in reg and
+// returns the observer feeding them.
+func NewFleetMetrics(reg *Registry) *FleetMetrics {
+	// Queue waits run from sub-millisecond (idle worker, unit ready) to
+	// minutes behind a long sweep plus re-dispatch backoff.
+	waitBounds := ExpBuckets(0.0001, 4, 12) // 100µs .. ~420s
+	return &FleetMetrics{
+		workers:   reg.Gauge(metricFleetWorkers, "Fleet workers currently live."),
+		deaths:    reg.Counter(metricFleetDeaths, "Fleet workers lost to transport failures."),
+		queued:    reg.Gauge(metricFleetQueued, "Work units awaiting dispatch."),
+		inflight:  reg.Gauge(metricFleetInflight, "Work units executing on a worker."),
+		retried:   reg.Counter(metricFleetRetried, "Work units re-dispatched after their worker died."),
+		completed: reg.Counter(metricFleetCompleted, "Work units completed (run, skipped or replayed)."),
+		dispatch: reg.Histogram(metricFleetDispatchSecs,
+			"Time a work unit waited in the queue before dispatch.", waitBounds),
+	}
+}
+
+// WorkerUp implements fleet.Observer.
+func (f *FleetMetrics) WorkerUp(id string) { f.workers.Add(1) }
+
+// WorkerDown implements fleet.Observer.
+func (f *FleetMetrics) WorkerDown(id string, err error) {
+	f.workers.Add(-1)
+	f.deaths.Inc()
+}
+
+// QueueDepth implements fleet.Observer.
+func (f *FleetMetrics) QueueDepth(queued, inflight int) {
+	f.queued.Set(float64(queued))
+	f.inflight.Set(float64(inflight))
+}
+
+// UnitDispatched implements fleet.Observer.
+func (f *FleetMetrics) UnitDispatched(wait time.Duration) {
+	f.dispatch.Observe(wait.Seconds())
+}
+
+// UnitDone implements fleet.Observer.
+func (f *FleetMetrics) UnitDone() { f.completed.Inc() }
+
+// UnitRetried implements fleet.Observer.
+func (f *FleetMetrics) UnitRetried() { f.retried.Inc() }

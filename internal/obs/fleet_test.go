@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFleetMetrics(t *testing.T) {
+	reg := NewRegistry()
+	fm := NewFleetMetrics(reg)
+
+	fm.WorkerUp("w1")
+	fm.WorkerUp("w2")
+	fm.QueueDepth(5, 2)
+	fm.UnitDispatched(250 * time.Millisecond)
+	fm.UnitDone()
+	fm.UnitDone()
+	fm.WorkerDown("w2", errors.New("killed"))
+	fm.UnitRetried()
+	fm.QueueDepth(4, 1)
+
+	if got := fm.workers.Value(); got != 1 {
+		t.Errorf("workers_live = %v, want 1", got)
+	}
+	if got := fm.deaths.Value(); got != 1 {
+		t.Errorf("worker_deaths_total = %d, want 1", got)
+	}
+	if got := fm.queued.Value(); got != 4 {
+		t.Errorf("units_queued = %v, want 4", got)
+	}
+	if got := fm.inflight.Value(); got != 1 {
+		t.Errorf("units_inflight = %v, want 1", got)
+	}
+	if got := fm.completed.Value(); got != 2 {
+		t.Errorf("units_completed_total = %d, want 2", got)
+	}
+	if got := fm.retried.Value(); got != 1 {
+		t.Errorf("units_retried_total = %d, want 1", got)
+	}
+	if got := fm.dispatch.Count(); got != 1 {
+		t.Errorf("dispatch observations = %d, want 1", got)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{
+		metricFleetWorkers, metricFleetDeaths, metricFleetQueued,
+		metricFleetInflight, metricFleetRetried, metricFleetCompleted,
+		metricFleetDispatchSecs,
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+	if !strings.Contains(out, metricFleetWorkers+" 1") {
+		t.Errorf("exposition missing %s 1:\n%s", metricFleetWorkers, out)
+	}
+}

@@ -1,0 +1,18 @@
+package rpcx
+
+import "io"
+
+// This file exports the package's record-marking discipline (RFC 1831
+// §10: a 32-bit big-endian header whose top bit marks the final
+// fragment, then the payload) for reuse outside the RPC layer. The
+// fleet coordinator/worker protocol frames its JSONL messages with
+// exactly these records, over stdin/stdout pipes and TCP alike, so one
+// framing implementation serves both the benchmark RPC model and the
+// control plane.
+
+// WriteFrame sends p as one record-marked frame.
+func WriteFrame(w io.Writer, p []byte) error { return writeRecord(w, p) }
+
+// ReadFrame receives one frame, reassembling fragments; maxBytes
+// bounds the total payload size (<=0 selects the 1MB default).
+func ReadFrame(r io.Reader, maxBytes int) ([]byte, error) { return readRecord(r, maxBytes) }

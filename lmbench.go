@@ -20,13 +20,19 @@
 //	lmbench.MaybeChild() // first line of main(); see below
 //	m, _ := lmbench.NewHostMachine()
 //	defer m.Close()
-//	db := &lmbench.DB{}
-//	skipped, err := lmbench.Run(context.Background(), m, lmbench.Options{}, db)
-//	_ = lmbench.RenderReport(os.Stdout, db)
+//	rep, err := lmbench.New(lmbench.WithMachine(m)).Run(context.Background())
+//	_ = rep.Render(os.Stdout)
+//
+// New composes a run from options — machines, sinks, a resume
+// journal, a fleet of worker processes — and returns a Report; see
+// the examples. The positional Run/RunExtended remain as deprecated
+// wrappers.
 //
 // Binaries that run the process-creation benchmarks must call
 // MaybeChild first: the "fork & exit" rung re-executes the current
-// binary, and MaybeChild makes those children exit immediately.
+// binary, and MaybeChild makes those children exit immediately. The
+// same call turns a re-exec into a fleet worker when a WithFleet run
+// spawned it.
 package lmbench
 
 import (
@@ -34,6 +40,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/host"
 	"repro/internal/machines"
 	"repro/internal/paper"
@@ -77,8 +84,16 @@ type Entry = results.Entry
 var ErrUnsupported = core.ErrUnsupported
 
 // MaybeChild must be the first call in main() of any binary using the
-// host backend's process-creation benchmarks.
-func MaybeChild() { host.MaybeChild() }
+// host backend's process-creation benchmarks or fleet execution. It
+// turns re-executions of the binary into what they were spawned to be:
+// a fork-child of a process benchmark exits immediately; a WithFleet
+// worker serves work units on stdin/stdout and then exits. The
+// fork-child check runs first — fork children of a fleet worker
+// inherit both sentinels and must still exit at once.
+func MaybeChild() {
+	host.MaybeChild()
+	fleet.MaybeWorker()
+}
 
 // NewHostMachine builds the backend measuring the real machine. Close
 // it when done.
@@ -111,12 +126,18 @@ func Experiments() []Experiment { return core.Experiments() }
 // merges the entries into db, returning the IDs the backend skipped.
 // The context cancels or deadlines the run between measurement
 // batches; use context.Background() for an unbounded run.
+//
+// Deprecated: compose the run with New instead — Run is the fixed
+// single-machine arrangement of it and takes no sinks, journal or
+// fleet. It remains for compatibility and behaves identically.
 func Run(ctx context.Context, m Machine, opts Options, db *DB, only ...string) ([]string, error) {
 	return run(ctx, m, opts, db, false, only)
 }
 
 // RunExtended is Run plus the §7 future-work experiments (STREAM,
 // dirty/write latency, TLB, cache-to-cache); see Extensions.
+//
+// Deprecated: use New with WithExtended; see Run.
 func RunExtended(ctx context.Context, m Machine, opts Options, db *DB, only ...string) ([]string, error) {
 	return run(ctx, m, opts, db, true, only)
 }
@@ -138,6 +159,10 @@ func NewTextSink(w io.Writer) EventSink { return core.NewTextSink(w) }
 // NewJSONLSink writes run events as JSON lines, one object per
 // lifecycle transition.
 func NewJSONLSink(w io.Writer) EventSink { return core.NewJSONLSink(w) }
+
+// NewPrefixedTextSink is NewTextSink with each line prefixed by its
+// machine name — the readable choice for multi-machine runs.
+func NewPrefixedTextSink(w io.Writer) EventSink { return core.NewPrefixedTextSink(w) }
 
 // Extensions returns the §7 future-work experiments run by
 // RunExtended.

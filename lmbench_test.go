@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -100,4 +103,114 @@ func TestFacadeExtendedAndAutoSize(t *testing.T) {
 	if sized.MemSize < 16<<20 {
 		t.Errorf("AutoSize = %d, want >= 16M for the 4M board cache", sized.MemSize)
 	}
+}
+
+// exampleOpts shrinks the workloads so the examples run in a moment.
+func exampleOpts() Options {
+	return Options{
+		Timing:       timing.Options{MinSampleTime: 100 * ptime.Microsecond, Samples: 2},
+		MemSize:      1 << 20,
+		FileSize:     1 << 20,
+		MaxChaseSize: 1 << 20,
+		FSFiles:      50,
+		CtxProcs:     []int{2, 4},
+		CtxSizes:     []int64{0, 4 << 10},
+	}
+}
+
+// ExampleNew is the builder quickstart: compose a run from options,
+// execute it, and render the report. Swap NewSimMachine for
+// NewHostMachine to measure the real machine.
+func ExampleNew() {
+	m, err := NewSimMachine("Linux/i686")
+	if err != nil {
+		panic(err)
+	}
+	rep, err := New(
+		WithMachine(m),
+		WithOptions(exampleOpts()),
+		WithOnly("table7"),
+	).Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("entries:", len(rep.DB.Entries()) > 0)
+	fmt.Println("skipped:", len(rep.Skipped["Linux/i686"]))
+	// rep.Render(os.Stdout) would print the paper-style tables.
+	// Output:
+	// entries: true
+	// skipped: 0
+}
+
+// ExampleNew_fleet executes the run across worker processes —
+// re-executions of this binary, which is why main (here, TestMain)
+// calls MaybeChild first — and shows the result is byte-identical to
+// the serial run.
+func ExampleNew_fleet() {
+	machines := func() []Option {
+		var opts []Option
+		for _, n := range []string{"Linux/i686", "Linux/Alpha"} {
+			m, err := NewSimMachine(n)
+			if err != nil {
+				panic(err)
+			}
+			opts = append(opts, WithMachine(m))
+		}
+		return opts
+	}
+	base := []Option{WithOptions(exampleOpts()), WithOnly("table2", "table7")}
+
+	serial, err := New(append(machines(), base...)...).Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	fleet, err := New(append(machines(), append(base, WithFleet(2))...)...).Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
+
+	var a, b bytes.Buffer
+	_ = serial.DB.Encode(&a)
+	_ = fleet.DB.Encode(&b)
+	fmt.Println("fleet == serial:", bytes.Equal(a.Bytes(), b.Bytes()))
+	// Output:
+	// fleet == serial: true
+}
+
+// ExampleNew_journal makes a run crash-safe: every completed
+// experiment is journaled, and re-running with the same path replays
+// the journal instead of re-executing — here the second run rebuilds
+// the identical database entirely from the journal.
+func ExampleNew_journal() {
+	dir, err := os.MkdirTemp("", "lmbench-example")
+	if err != nil {
+		panic(err)
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	journal := filepath.Join(dir, "run.jnl")
+
+	run := func() *Report {
+		m, err := NewSimMachine("IBM PowerPC")
+		if err != nil {
+			panic(err)
+		}
+		rep, err := New(
+			WithMachine(m),
+			WithOptions(exampleOpts()),
+			WithOnly("table7", "table16"),
+			WithJournal(journal),
+		).Run(context.Background())
+		if err != nil {
+			panic(err)
+		}
+		return rep
+	}
+	first, resumed := run(), run()
+
+	var a, b bytes.Buffer
+	_ = first.DB.Encode(&a)
+	_ = resumed.DB.Encode(&b)
+	fmt.Println("resumed identical:", bytes.Equal(a.Bytes(), b.Bytes()))
+	// Output:
+	// resumed identical: true
 }

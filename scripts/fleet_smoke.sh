@@ -1,0 +1,35 @@
+#!/bin/sh
+# fleet_smoke.sh runs a short evaluation twice — serially and across a
+# 3-process worker fleet — and proves the encoded databases are
+# byte-identical (equal SHA-256). Driven by `make fleet-smoke`.
+set -eu
+
+GO=${GO:-go}
+bin=$(mktemp -t lmbench-fleet.XXXXXX)
+serial=$(mktemp -t lmbench-fleet-serial.XXXXXX)
+fleet=$(mktemp -t lmbench-fleet-fleet.XXXXXX)
+cleanup() {
+    rm -f "$bin" "$serial" "$fleet"
+}
+trap cleanup EXIT INT TERM
+
+$GO build -o "$bin" ./cmd/lmbench
+
+"$bin" -machine all-sim -fast -quiet -only table2,table7 -out "$serial" > /dev/null
+"$bin" -machine all-sim -fast -quiet -only table2,table7 -fleet-workers 3 -out "$fleet" > /dev/null
+
+sum() {
+    if command -v sha256sum > /dev/null 2>&1; then
+        sha256sum "$1" | cut -d' ' -f1
+    else
+        shasum -a 256 "$1" | cut -d' ' -f1
+    fi
+}
+
+s=$(sum "$serial")
+f=$(sum "$fleet")
+if [ "$s" != "$f" ]; then
+    echo "fleet-smoke: FLEET DIVERGED: serial $s != fleet $f" >&2
+    exit 1
+fi
+echo "fleet-smoke: ok (serial == 3-worker fleet, sha256 $s)"
