@@ -4,7 +4,7 @@ GO ?= go
 #   make chaos LMBENCH_CHAOS_SEED=99
 LMBENCH_CHAOS_SEED ?= 1
 
-.PHONY: all build vet test race chaos verify bench bench-smoke serve-smoke fleet-smoke fuzz-smoke profile
+.PHONY: all build vet test race chaos verify bench bench-smoke serve-smoke fleet-smoke store-smoke fuzz-smoke profile
 
 # Benchmarks recorded in BENCH_pr3.json: the Figure-1 sweep plus the
 # memory-heavy tables (the simulator hot paths), and the simmem
@@ -25,11 +25,12 @@ test:
 	$(GO) test ./...
 
 # The scheduler, timing harness, fault-injection wrapper, fleet
-# coordinator, and observability layer are the concurrency-sensitive
-# packages; run them (including the journal, resume, chaos, worker-kill
-# and metrics-scrape suites) under the race detector.
+# coordinator, observability layer and results store are the
+# concurrency-sensitive packages; run them (including the journal,
+# resume, chaos, worker-kill, metrics-scrape, ingest and HTTP-cache
+# suites) under the race detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/timing/... ./internal/faults/... ./internal/obs/... ./internal/fleet/...
+	$(GO) test -race ./internal/core/... ./internal/timing/... ./internal/faults/... ./internal/obs/... ./internal/fleet/... ./internal/store/...
 
 # chaos runs the fault-injection scheduler suite on its own, race-
 # enabled and verbose, with a fixed seed for reproducible streams.
@@ -65,11 +66,24 @@ serve-smoke:
 fleet-smoke:
 	GO="$(GO)" ./scripts/fleet_smoke.sh
 
-# fuzz-smoke runs each results-codec fuzz target briefly over its
-# committed seed corpus — a CI-sized slice of `go test -fuzz`.
+# store-smoke boots a results-store daemon, publishes the same short
+# run serially and as a fleet, and proves the service end to end: both
+# publishes dedupe onto one content-addressed run, the comparison table
+# revalidates to 304, and identical runs report no regressions; part of
+# verify so the ingestion wire protocol and the HTTP cache discipline
+# cannot silently rot.
+store-smoke:
+	GO="$(GO)" ./scripts/store_smoke.sh
+
+# fuzz-smoke runs each results-codec and store corrupt-shard fuzz
+# target briefly over its seed corpus — a CI-sized slice of
+# `go test -fuzz`.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 2s ./internal/results/
 	$(GO) test -run '^$$' -fuzz '^FuzzEntryRoundTrip$$' -fuzztime 2s ./internal/results/
+	$(GO) test -run '^$$' -fuzz '^FuzzManifestShard$$' -fuzztime 2s ./internal/store/
+	$(GO) test -run '^$$' -fuzz '^FuzzObjectShard$$' -fuzztime 2s ./internal/store/
+	$(GO) test -run '^$$' -fuzz '^FuzzIngestStream$$' -fuzztime 2s ./internal/store/
 
 # profile captures pprof CPU and heap profiles of a representative
 # simulated run; inspect with `go tool pprof cpu.pprof`.
@@ -78,9 +92,10 @@ profile:
 	@echo "wrote cpu.pprof and mem.pprof"
 
 # verify is the tier-1 gate: everything must build, vet clean, pass
-# tests, the concurrent scheduler, fleet coordinator and observability
-# layer must be race-clean, the bench harness must run, the -serve
-# endpoints must answer during a live run, a worker fleet must produce
-# serial-identical bytes, and the results codec must survive a fuzz
-# smoke.
-verify: build vet test race bench-smoke serve-smoke fleet-smoke fuzz-smoke
+# tests, the concurrent scheduler, fleet coordinator, observability
+# layer and results store must be race-clean, the bench harness must
+# run, the -serve endpoints must answer during a live run, a worker
+# fleet must produce serial-identical bytes, the results service must
+# ingest/serve/revalidate end to end, and the codecs must survive a
+# fuzz smoke.
+verify: build vet test race bench-smoke serve-smoke fleet-smoke store-smoke fuzz-smoke

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/paper"
+	istore "repro/internal/store"
 )
 
 // Bench is a configured benchmark run, assembled by New from Options.
@@ -31,6 +32,9 @@ type Bench struct {
 	journalPath    string
 	fleetWorkers   int
 	fleetConnect   []string
+	storeDir       string
+	publishAddr    string
+	runLabel       string
 }
 
 // Option configures a Bench; see the With* constructors.
@@ -148,12 +152,40 @@ func WithFleetConnect(addrs ...string) Option {
 	return func(b *Bench) { b.fleetConnect = append(b.fleetConnect, addrs...) }
 }
 
+// WithStore publishes the finished run into the results store rooted
+// at dir (created if needed). The run is keyed by its content — see
+// Report.RunID — so re-running an identical deterministic benchmark
+// is an idempotent no-op on the store.
+func WithStore(dir string) Option {
+	return func(b *Bench) { b.storeDir = dir }
+}
+
+// WithPublish streams the finished run to a results-store daemon at
+// addr (a process running `lmbench -store-listen`), over the same
+// record framing the fleet protocol uses.
+func WithPublish(addr string) Option {
+	return func(b *Bench) { b.publishAddr = addr }
+}
+
+// WithRunLabel tags the run with a human-readable label
+// ("nightly-2026-08-08"). Labels are descriptive, not part of the run
+// key, and stored runs can be queried by them.
+func WithRunLabel(label string) Option {
+	return func(b *Bench) { b.runLabel = label }
+}
+
 // Report is the outcome of a Bench run: the merged results database
 // and, per machine, the experiments its backend could not support.
 type Report struct {
 	DB *DB
 	// Skipped maps machine name to skipped experiment IDs.
 	Skipped map[string][]string
+	// RunID is the content-addressed key the run stores and publishes
+	// under: the hash of (machines, options fingerprint, code version,
+	// content hash of DB). Two identical deterministic runs share it.
+	RunID string
+
+	manifest istore.Manifest
 }
 
 // Render writes every populated table and figure in the paper's
@@ -163,6 +195,16 @@ func (r *Report) Render(w io.Writer) error { return paper.RenderAll(w, r.DB) }
 // RenderTable writes one table ("table2" ... "table17").
 func (r *Report) RenderTable(w io.Writer, id string) error {
 	return paper.RenderTable(w, id, r.DB)
+}
+
+// Publish stores the run in s and returns the stored manifest. It is
+// the programmatic form of WithStore, for callers that decide after
+// seeing the report; publishing the same run twice is idempotent.
+func (r *Report) Publish(ctx context.Context, s *Store) (Manifest, error) {
+	if err := ctx.Err(); err != nil {
+		return Manifest{}, err
+	}
+	return s.Put(r.manifest, r.DB)
 }
 
 // Run executes the configured benchmark and returns its Report. The
@@ -229,7 +271,57 @@ func (b *Bench) Run(ctx context.Context) (*Report, error) {
 			return nil, err
 		}
 	}
-	return &Report{DB: db, Skipped: skipped}, nil
+	rep := &Report{DB: db, Skipped: skipped}
+	if err := rep.fillManifest(b); err != nil {
+		return nil, err
+	}
+	if b.storeDir != "" {
+		s, err := istore.Open(b.storeDir)
+		if err != nil {
+			return nil, err
+		}
+		m, err := s.Put(rep.manifest, db)
+		if err != nil {
+			return nil, err
+		}
+		rep.RunID = m.RunID
+	}
+	if b.publishAddr != "" {
+		m, err := istore.Publish(ctx, b.publishAddr, rep.manifest, db)
+		if err != nil {
+			return nil, fmt.Errorf("lmbench: publish to %s: %w", b.publishAddr, err)
+		}
+		rep.RunID = m.RunID
+	}
+	return rep, nil
+}
+
+// fillManifest derives the run's store manifest — and from it the
+// report's RunID — from what was just run: the machine names in run
+// order, the normalized-options fingerprint, and the code version.
+func (r *Report) fillManifest(b *Bench) error {
+	names := make([]string, len(b.machines))
+	for i, m := range b.machines {
+		names[i] = m.Name()
+	}
+	fp, err := istore.Fingerprint(b.opts)
+	if err != nil {
+		return err
+	}
+	r.manifest = istore.Manifest{
+		Label:       b.runLabel,
+		Machines:    names,
+		Options:     fp,
+		CodeVersion: istore.CodeVersion(),
+	}
+	hash, err := istore.ContentHash(r.DB)
+	if err != nil {
+		return err
+	}
+	r.manifest.ContentHash = hash
+	r.manifest.Entries = r.DB.Len()
+	r.RunID = istore.RunIDFor(r.manifest)
+	return nil
 }
 
 // openJournalPath opens path with create-or-resume semantics: a new or

@@ -22,6 +22,11 @@
 //	lmbench -fleet-workers 4         # run across 4 worker processes
 //	lmbench -fleet-listen :7777      # serve as a remote worker daemon
 //	lmbench -fleet-connect host:7777 # add a remote worker to the pool
+//	lmbench -store store/            # persist the run in a results store
+//	lmbench -publish host:7878       # stream the run to a store daemon
+//	lmbench -run-label nightly       # label the stored run
+//	lmbench -store-listen :7878 -store-dir store/ -store-http :8080
+//	                                 # run as the results-store daemon
 package main
 
 import (
@@ -45,6 +50,7 @@ import (
 	"repro/internal/paper"
 	"repro/internal/ptime"
 	"repro/internal/results"
+	"repro/internal/store"
 	"repro/internal/timing"
 )
 
@@ -83,6 +89,13 @@ func run() error {
 		fleetFlag   = flag.Int("fleet-workers", 0, "run across this many worker processes (simulated machines only; results are byte-identical)")
 		workerFlag  = flag.Bool("worker", false, "serve fleet work units on stdin/stdout, then exit (what a spawned worker does)")
 		listenFlag  = flag.String("fleet-listen", "", "serve as a remote fleet worker daemon on this address")
+
+		storeFlag       = flag.String("store", "", "persist the finished run in the results store at this directory")
+		publishFlag     = flag.String("publish", "", "stream the finished run to a results-store daemon at this address")
+		runLabelFlag    = flag.String("run-label", "", "label the stored run (with -store or -publish)")
+		storeListenFlag = flag.String("store-listen", "", "run as a results-store daemon: accept published runs on this address")
+		storeDirFlag    = flag.String("store-dir", "lmbench-store", "store directory for -store-listen")
+		storeHTTPFlag   = flag.String("store-http", "", "with -store-listen, also serve the store query API on this address")
 	)
 	var merges, fleetConnect multiFlag
 	flag.Var(&merges, "merge", "preload a results database (repeatable)")
@@ -103,6 +116,9 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "fleet worker daemon on %s\n", ln.Addr())
 		}
 		return fleet.Serve(ctx, ln)
+	}
+	if *storeListenFlag != "" {
+		return serveStore(*storeListenFlag, *storeDirFlag, *storeHTTPFlag, *quietFlag)
 	}
 	fleetMode := *fleetFlag > 0 || len(fleetConnect) > 0
 
@@ -389,6 +405,16 @@ func run() error {
 		}
 	}
 
+	if *storeFlag != "" || *publishFlag != "" {
+		runID, err := publishRun(ctx, db, targets, opts, *runLabelFlag, *storeFlag, *publishFlag)
+		if err != nil {
+			return err
+		}
+		if !*quietFlag {
+			fmt.Fprintf(os.Stderr, "published run %s\n", runID)
+		}
+	}
+
 	if *summaryFlag {
 		for i, m := range targets {
 			if i > 0 {
@@ -460,6 +486,71 @@ func openJournal(journalPath, resumePath string) (*core.JournalWriter, *core.Jou
 		return core.AppendJournalWriter(f), replay, nil
 	}
 	return nil, nil, nil
+}
+
+// serveStore runs the results-store daemon: runs published with
+// -publish land in the store at dir, and, when httpAddr is set, the
+// query/compare API (run listings, paper tables, comparisons, trends,
+// regression reports) is served alongside.
+func serveStore(listenAddr, dir, httpAddr string, quiet bool) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	s, err := lmbench.OpenStore(dir)
+	if err != nil {
+		return fmt.Errorf("-store-dir: %w", err)
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return fmt.Errorf("-store-listen: %w", err)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "results store daemon on %s (store %s)\n", ln.Addr(), dir)
+	}
+	if httpAddr != "" {
+		srv := &lmbench.StoreServer{Store: s, Registry: lmbench.NewRegistry()}
+		addr, stopServe, err := srv.Start(ctx, httpAddr)
+		if err != nil {
+			return fmt.Errorf("-store-http: %w", err)
+		}
+		defer stopServe()
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "store api: http://%s/api/runs\n", addr)
+		}
+	}
+	return lmbench.ServeStoreIngest(ctx, ln, s)
+}
+
+// publishRun lands the finished database in a local store and/or a
+// remote daemon, keyed by what was run; see internal/store.
+func publishRun(ctx context.Context, db *results.DB, targets []core.Machine, opts core.Options, label, storeDir, publishAddr string) (string, error) {
+	fp, err := store.Fingerprint(opts)
+	if err != nil {
+		return "", err
+	}
+	m := store.Manifest{Label: label, Options: fp, CodeVersion: store.CodeVersion()}
+	for _, t := range targets {
+		m.Machines = append(m.Machines, t.Name())
+	}
+	var runID string
+	if storeDir != "" {
+		s, err := lmbench.OpenStore(storeDir)
+		if err != nil {
+			return "", err
+		}
+		put, err := s.Put(m, db)
+		if err != nil {
+			return "", err
+		}
+		runID = put.RunID
+	}
+	if publishAddr != "" {
+		put, err := store.Publish(ctx, publishAddr, m, db)
+		if err != nil {
+			return "", fmt.Errorf("-publish %s: %w", publishAddr, err)
+		}
+		runID = put.RunID
+	}
+	return runID, nil
 }
 
 // planSize counts the experiment groups one machine will execute — the

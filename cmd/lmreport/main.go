@@ -1,12 +1,16 @@
 // Command lmreport regenerates the paper's entire evaluation: it runs
 // the full suite on every built-in simulated machine (the Table-1
 // testbed), renders Tables 2-17 and Figures 1-2, and writes the results
-// database plus gnuplot data for the figures.
+// database plus gnuplot data for the figures. It is a thin client of
+// the public lmbench API — the run is composed with lmbench.New and
+// results can land directly in a results store.
 //
 //	lmreport                      # all machines, tables to stdout
 //	lmreport -out results.db      # also save the database
 //	lmreport -gnuplot figures/    # also write figure .dat files
 //	lmreport -machines 'Linux/i686,HP K210'
+//	lmreport -store store/        # publish the run into a results store
+//	lmreport -publish host:7878   # publish to a store daemon
 package main
 
 import (
@@ -17,12 +21,10 @@ import (
 	"path/filepath"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/machines"
+	lmbench "repro"
 	"repro/internal/paper"
 	"repro/internal/ptime"
 	"repro/internal/report"
-	"repro/internal/results"
 	"repro/internal/timing"
 )
 
@@ -41,24 +43,23 @@ func run() error {
 		machFlag    = flag.String("machines", "", "comma-separated machine subset (default all)")
 		fullFlag    = flag.Bool("full", false, "paper-sized workloads (slower)")
 		quietFlag   = flag.Bool("quiet", false, "suppress progress output")
+		storeFlag   = flag.String("store", "", "publish the finished run into the results store at this directory")
+		publishFlag = flag.String("publish", "", "publish the finished run to a store daemon at this address")
+		labelFlag   = flag.String("run-label", "", "label the published run (with -store or -publish)")
 	)
 	flag.Parse()
 
-	names := machines.Names()
+	names := lmbench.SimMachineNames()
 	if *machFlag != "" {
 		names = nil
 		for _, n := range strings.Split(*machFlag, ",") {
-			n = strings.TrimSpace(n)
-			if _, ok := machines.ByName(n); !ok {
-				return fmt.Errorf("unknown machine %q", n)
-			}
-			names = append(names, n)
+			names = append(names, strings.TrimSpace(n))
 		}
 	}
 
 	// The virtual clock is exact, so small samples suffice; -full uses
 	// the paper's 8MB sizes, the default trims the sweeps for speed.
-	opts := core.Options{
+	opts := lmbench.Options{
 		Timing: timing.Options{MinSampleTime: ptime.Millisecond, Samples: 2},
 	}
 	if !*fullFlag {
@@ -72,26 +73,37 @@ func run() error {
 		opts.CtxSizes = []int64{0, 4 << 10, 16 << 10, 32 << 10, 64 << 10}
 	}
 
-	db := &results.DB{}
+	options := []lmbench.Option{lmbench.WithOptions(opts)}
 	for _, n := range names {
-		p, _ := machines.ByName(n)
-		m, err := machines.Build(p)
+		m, err := lmbench.NewSimMachine(n)
 		if err != nil {
 			return err
 		}
-		if !*quietFlag {
-			fmt.Fprintf(os.Stderr, "== %s ==\n", n)
-		}
-		s := &core.Suite{M: m, Opts: opts}
-		if !*quietFlag {
-			s.Events = core.NewTextSink(os.Stderr)
-		}
-		if _, err := s.Run(context.Background(), db); err != nil {
-			return fmt.Errorf("%s: %w", n, err)
-		}
+		options = append(options, lmbench.WithMachine(m))
+	}
+	if !*quietFlag {
+		options = append(options, lmbench.WithSink(lmbench.NewPrefixedTextSink(os.Stderr)))
+	}
+	if *storeFlag != "" {
+		options = append(options, lmbench.WithStore(*storeFlag))
+	}
+	if *publishFlag != "" {
+		options = append(options, lmbench.WithPublish(*publishFlag))
+	}
+	if *labelFlag != "" {
+		options = append(options, lmbench.WithRunLabel(*labelFlag))
 	}
 
-	if err := paper.RenderAll(os.Stdout, db); err != nil {
+	rep, err := lmbench.New(options...).Run(context.Background())
+	if err != nil {
+		return err
+	}
+	db := rep.DB
+	if (*storeFlag != "" || *publishFlag != "") && !*quietFlag {
+		fmt.Fprintf(os.Stderr, "published run %s\n", rep.RunID)
+	}
+
+	if err := rep.Render(os.Stdout); err != nil {
 		return err
 	}
 

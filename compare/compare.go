@@ -1,0 +1,124 @@
+// Package compare is the public comparison and regression API over
+// lmbench results databases.
+//
+// It answers the two questions the paper's results database existed
+// for: "how does this run compare to that one?" (sorted agreement
+// tables: median got/ref ratio per benchmark plus Spearman rank
+// correlation across the common machines) and "did anything get
+// worse?" (automatic regression reports judged against each
+// measurement's own observed noise, not a fixed percentage).
+//
+// Databases come from three places, and the package loads all of them
+// uniformly:
+//
+//   - a results file written by the harness (Load with a path),
+//   - the paper's published values (Load("paper"), or Paper), and
+//   - a run in a results store (Open + Store.DB with any run
+//     reference: an ID or unique prefix, a label, "latest",
+//     "latest~N").
+//
+// The lmcompare and lmreport commands are thin clients of this
+// package; anything they print can be reproduced with a few calls:
+//
+//	ref, _ := compare.Load("paper")
+//	got, _ := compare.Load("results/simulated.db")
+//	comps := compare.Compare(ref, got)
+//	compare.Render(os.Stdout, comps)
+//
+//	rep := compare.Regressions(base, head, compare.RegressOptions{})
+//	compare.RenderRegressions(os.Stdout, rep)
+package compare
+
+import (
+	"io"
+	"os"
+
+	icompare "repro/internal/compare"
+	"repro/internal/paperdata"
+	"repro/internal/results"
+	"repro/internal/store"
+)
+
+// DB is the mergeable, serializable results database (an alias of the
+// root package's DB; values flow freely between the two APIs).
+type DB = results.DB
+
+// Benchmark is the agreement summary for one benchmark shared by two
+// databases: machines in common, median got/ref ratio, worst ratio,
+// and Spearman rank correlation when computable.
+type Benchmark = icompare.Benchmark
+
+// Delta is one (benchmark, machine) pair's significant change between
+// two runs; see Regressions.
+type Delta = icompare.Delta
+
+// RegressOptions tunes regression significance; the zero value selects
+// the defaults (3 sigmas of quality.spread, 0.1% floor).
+type RegressOptions = icompare.RegressOptions
+
+// RegressionReport is the outcome of Regressions: every significant
+// delta worst-first, plus counts by direction.
+type RegressionReport = icompare.RegressionReport
+
+// Store is a persistent, content-addressed multi-run results store;
+// see Open.
+type Store = store.Store
+
+// Manifest describes one stored run (machines, options fingerprint,
+// code version, content hash, ingest sequence).
+type Manifest = store.Manifest
+
+// Compare evaluates got against ref for every scalar benchmark they
+// share, sorted by benchmark name.
+func Compare(ref, got *DB) []Benchmark { return icompare.Compare(ref, got) }
+
+// Render prints a comparison as an aligned table.
+func Render(w io.Writer, comps []Benchmark) { icompare.Render(w, comps) }
+
+// Summary aggregates shape agreement over a comparison: the mean rank
+// correlation where defined, and how many benchmarks meet threshold.
+func Summary(comps []Benchmark, rankThreshold float64) (meanRank float64, above, total int) {
+	return icompare.Summary(comps, rankThreshold)
+}
+
+// Regressions compares every (benchmark, machine) pair present in both
+// databases and reports the changes that clear the per-entry noise bar
+// — max(MinRel, Sigmas × the entries' quality.spread). Direction is
+// unit-aware: bandwidths regress downward, latencies upward; series
+// entries are judged by their worst-moving common point.
+func Regressions(base, head *DB, opt RegressOptions) RegressionReport {
+	return icompare.Regressions(base, head, opt)
+}
+
+// RenderRegressions prints a regression report as an aligned table; an
+// empty report renders as the single line "no significant changes",
+// the shape CI gates grep for.
+func RenderRegressions(w io.Writer, rep RegressionReport) { icompare.RenderRegressions(w, rep) }
+
+// Paper returns the paper's published results (Tables 2-17 and the
+// Figure-1 memory curves) as a database.
+func Paper() *DB { return paperdata.DB() }
+
+// Load reads a results database from a file, or returns the paper's
+// published values for the reserved name "paper".
+func Load(path string) (*DB, error) {
+	if path == "paper" {
+		return Paper(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return results.Decode(f)
+}
+
+// Open opens (creating if needed) the results store rooted at dir.
+// Store.DB resolves any run reference to its manifest and decoded
+// database, so comparing two stored runs is:
+//
+//	s, _ := compare.Open(dir)
+//	_, base, _ := s.DB("latest~1")
+//	_, head, _ := s.DB("latest")
+//	rep := compare.Regressions(base, head, compare.RegressOptions{})
+func Open(dir string) (*Store, error) { return store.Open(dir) }

@@ -1,0 +1,72 @@
+package compare_test
+
+import (
+	"fmt"
+	"os"
+
+	"repro/compare"
+)
+
+// Comparing a database against the paper's published values is one
+// Load away; a self-comparison agrees perfectly.
+func ExampleCompare() {
+	ref, err := compare.Load("paper")
+	if err != nil {
+		panic(err)
+	}
+	comps := compare.Compare(ref, ref)
+	meanRank, above, total := compare.Summary(comps, 0.6)
+	fmt.Printf("mean rank %.2f, %d/%d above threshold\n", meanRank, above, total)
+	fmt.Printf("median ratio of first benchmark: %.2fx\n", comps[0].MedianRatio)
+	// Output:
+	// mean rank 1.00, 26/26 above threshold
+	// median ratio of first benchmark: 1.00x
+}
+
+// A run compared with itself has no significant changes — the pass
+// condition CI regression gates check for.
+func ExampleRegressions() {
+	db, err := compare.Load("paper")
+	if err != nil {
+		panic(err)
+	}
+	rep := compare.Regressions(db, db, compare.RegressOptions{})
+	fmt.Println(rep.Empty())
+	compare.RenderRegressions(os.Stdout, rep)
+	// Output:
+	// true
+	// regressions: base -> head (367 pairs compared, bar max(0.001, 3*spread))
+	// no significant changes
+}
+
+// Open gives direct access to a results store; any run reference —
+// label, ID prefix, "latest" — resolves to a manifest and database.
+func ExampleOpen() {
+	dir, err := os.MkdirTemp("", "lmbench-store-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	s, err := compare.Open(dir)
+	if err != nil {
+		panic(err)
+	}
+	db := compare.Paper()
+	if _, err := s.Put(compare.Manifest{
+		Label:       "paper-values",
+		Machines:    []string{"published"},
+		Options:     "{}",
+		CodeVersion: "usenix96",
+	}, db); err != nil {
+		panic(err)
+	}
+
+	m, got, err := s.DB("latest")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %d entries, same content: %v\n", m.Label, got.Len(), got.Len() == db.Len())
+	// Output:
+	// paper-values: 367 entries, same content: true
+}

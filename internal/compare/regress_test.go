@@ -1,0 +1,158 @@
+package compare
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/results"
+)
+
+func regDB(t *testing.T, entries ...results.Entry) *results.DB {
+	t.Helper()
+	db := &results.DB{}
+	for _, e := range entries {
+		if err := db.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestRegressionsDirectionByUnit(t *testing.T) {
+	base := regDB(t,
+		results.Entry{Benchmark: "lat_syscall", Machine: "m", Unit: "us", Scalar: 4.0},
+		results.Entry{Benchmark: "bw_mem", Machine: "m", Unit: "MB/s", Scalar: 100},
+	)
+	head := regDB(t,
+		// Latency up 50%: worse.
+		results.Entry{Benchmark: "lat_syscall", Machine: "m", Unit: "us", Scalar: 6.0},
+		// Bandwidth up 50%: better.
+		results.Entry{Benchmark: "bw_mem", Machine: "m", Unit: "MB/s", Scalar: 150},
+	)
+	rep := Regressions(base, head, RegressOptions{})
+	if rep.Compared != 2 || rep.Regressions != 1 || rep.Improvements != 1 {
+		t.Fatalf("report %+v, want 2 compared, 1 regression, 1 improvement", rep)
+	}
+	for _, d := range rep.Deltas {
+		switch d.Benchmark {
+		case "lat_syscall":
+			if !d.Regression {
+				t.Error("slower latency not flagged as regression")
+			}
+		case "bw_mem":
+			if d.Regression {
+				t.Error("higher bandwidth flagged as regression")
+			}
+		}
+	}
+}
+
+// TestNoiseBarFromSpread: a delta inside Sigmas × quality.spread is not
+// significant; the same delta on a quiet entry is.
+func TestNoiseBarFromSpread(t *testing.T) {
+	noisy := map[string]string{"quality.spread": "0.05"} // 3σ bar = 15%
+	base := regDB(t,
+		results.Entry{Benchmark: "b_noisy", Machine: "m", Unit: "us", Scalar: 10, Attrs: noisy},
+		results.Entry{Benchmark: "b_quiet", Machine: "m", Unit: "us", Scalar: 10},
+	)
+	head := regDB(t,
+		results.Entry{Benchmark: "b_noisy", Machine: "m", Unit: "us", Scalar: 11, Attrs: noisy}, // +10% < 15%
+		results.Entry{Benchmark: "b_quiet", Machine: "m", Unit: "us", Scalar: 11},               // +10% > 0.1%
+	)
+	rep := Regressions(base, head, RegressOptions{})
+	if len(rep.Deltas) != 1 || rep.Deltas[0].Benchmark != "b_quiet" {
+		t.Fatalf("deltas %+v, want only b_quiet significant", rep.Deltas)
+	}
+	if got := rep.Deltas[0].Noise; got != 0.001 {
+		t.Errorf("quiet entry noise bar %g, want MinRel default 0.001", got)
+	}
+}
+
+// TestIdenticalRunsEmpty: the gate condition — comparing a run with
+// itself reports nothing, and renders as the single greppable line.
+func TestIdenticalRunsEmpty(t *testing.T) {
+	db := regDB(t,
+		results.Entry{Benchmark: "b", Machine: "m", Unit: "us", Scalar: 3.14},
+		results.Entry{Benchmark: "s", Machine: "m", Unit: "ns",
+			Series: []results.Point{{X: 1, Y: 2}, {X: 2, Y: 3}}},
+	)
+	rep := Regressions(db, db, RegressOptions{})
+	if !rep.Empty() || rep.Compared != 2 {
+		t.Fatalf("self-comparison not empty: %+v", rep)
+	}
+	var buf strings.Builder
+	RenderRegressions(&buf, rep)
+	if !strings.Contains(buf.String(), "no significant changes") {
+		t.Errorf("empty report rendered without the gate line:\n%s", buf.String())
+	}
+}
+
+// TestSeriesWorstPoint: series entries are judged by their
+// worst-moving common point, matched on (X, X2).
+func TestSeriesWorstPoint(t *testing.T) {
+	base := regDB(t, results.Entry{Benchmark: "lat_mem_rd", Machine: "m", Unit: "ns",
+		Series: []results.Point{
+			{X: 512, X2: 8, Y: 5},
+			{X: 1024, X2: 8, Y: 5},
+			{X: 4096, X2: 64, Y: 100}, // no matching head point
+		}})
+	head := regDB(t, results.Entry{Benchmark: "lat_mem_rd", Machine: "m", Unit: "ns",
+		Series: []results.Point{
+			{X: 512, X2: 8, Y: 5.05}, // +1%
+			{X: 1024, X2: 8, Y: 7.5}, // +50%: the worst move
+			{X: 4096, X2: 8, Y: 1},   // X matches, X2 does not
+		}})
+	rep := Regressions(base, head, RegressOptions{})
+	if len(rep.Deltas) != 1 {
+		t.Fatalf("deltas %+v, want exactly one", rep.Deltas)
+	}
+	d := rep.Deltas[0]
+	if !d.IsSeries || d.Point != 1024 || math.Abs(d.Rel-0.5) > 1e-9 || !d.Regression {
+		t.Errorf("worst series delta %+v, want the +50%% move at X=1024", d)
+	}
+	var buf strings.Builder
+	RenderRegressions(&buf, rep)
+	if !strings.Contains(buf.String(), "lat_mem_rd@1024") {
+		t.Errorf("rendered report does not name the worst point:\n%s", buf.String())
+	}
+}
+
+// TestDeltasSortedWorstFirst: output is ordered by |Rel| descending so
+// the report leads with the biggest move.
+func TestDeltasSortedWorstFirst(t *testing.T) {
+	base := regDB(t,
+		results.Entry{Benchmark: "a", Machine: "m", Unit: "us", Scalar: 10},
+		results.Entry{Benchmark: "b", Machine: "m", Unit: "us", Scalar: 10},
+		results.Entry{Benchmark: "c", Machine: "m", Unit: "us", Scalar: 10},
+	)
+	head := regDB(t,
+		results.Entry{Benchmark: "a", Machine: "m", Unit: "us", Scalar: 11}, // +10%
+		results.Entry{Benchmark: "b", Machine: "m", Unit: "us", Scalar: 5},  // -50%
+		results.Entry{Benchmark: "c", Machine: "m", Unit: "us", Scalar: 12}, // +20%
+	)
+	rep := Regressions(base, head, RegressOptions{})
+	var order []string
+	for _, d := range rep.Deltas {
+		order = append(order, d.Benchmark)
+	}
+	if strings.Join(order, ",") != "b,c,a" {
+		t.Errorf("delta order %v, want b,c,a (|Rel| descending)", order)
+	}
+}
+
+// TestDegenerateBaselines: a zero baseline is skipped, never divided
+// by. (Non-finite scalars cannot even enter a results.DB — Add rejects
+// them — so relDelta's NaN/Inf guards are defense in depth.)
+func TestDegenerateBaselines(t *testing.T) {
+	base := regDB(t,
+		results.Entry{Benchmark: "zero", Machine: "m", Unit: "us", Scalar: 0},
+	)
+	head := regDB(t,
+		results.Entry{Benchmark: "zero", Machine: "m", Unit: "us", Scalar: 5},
+	)
+	rep := Regressions(base, head, RegressOptions{})
+	if len(rep.Deltas) != 0 {
+		t.Errorf("degenerate baselines produced deltas: %+v", rep.Deltas)
+	}
+}

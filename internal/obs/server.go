@@ -61,13 +61,23 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	if err != nil {
 		return err
 	}
-	return s.serve(ctx, ln)
+	return ServeHTTP(ctx, ln, s.Handler())
 }
 
 // Start begins serving on addr in the background and returns the
 // actual bound address (useful with ":0"). The server stops when ctx
 // is cancelled; stop() waits for shutdown to complete.
 func (s *Server) Start(ctx context.Context, addr string) (bound string, stop func(), err error) {
+	return StartHTTP(ctx, addr, s.Handler())
+}
+
+// StartHTTP begins serving h on addr in the background and returns the
+// actual bound address (useful with ":0"). The server stops when ctx
+// is cancelled; stop() waits for shutdown to complete. This is the
+// lifecycle the observability server always used, exported so other
+// serving surfaces (the results-store HTTP API) inherit the same
+// graceful, context-bound behavior.
+func StartHTTP(ctx context.Context, addr string, h http.Handler) (bound string, stop func(), err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
@@ -76,13 +86,15 @@ func (s *Server) Start(ctx context.Context, addr string) (bound string, stop fun
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		_ = s.serve(ctx, ln)
+		_ = ServeHTTP(ctx, ln, h)
 	}()
 	return ln.Addr().String(), func() { cancel(); <-done }, nil
 }
 
-func (s *Server) serve(ctx context.Context, ln net.Listener) error {
-	srv := &http.Server{Handler: s.Handler()}
+// ServeHTTP serves h on ln until ctx is cancelled, then shuts down
+// gracefully (2s drain).
+func ServeHTTP(ctx context.Context, ln net.Listener, h http.Handler) error {
+	srv := &http.Server{Handler: h}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {

@@ -52,11 +52,25 @@ func (e Entry) IsSeries() bool { return e.Series != nil }
 
 type key struct{ bench, machine string }
 
+// less orders keys canonically: benchmark first, machine second. Every
+// iteration over a DB — Entries, Encode, and therefore every content
+// hash — uses this one order, so two databases holding the same
+// entries serialize byte-identically no matter how they were built
+// (run order, merge order, fragment arrival order over the wire).
+func (k key) less(o key) bool {
+	if k.bench != o.bench {
+		return k.bench < o.bench
+	}
+	return k.machine < o.machine
+}
+
 // DB is a set of entries indexed by (benchmark, machine). The zero
 // value is ready to use.
 type DB struct {
 	entries map[key]*Entry
-	order   []key // insertion order for stable encoding
+	// sorted caches the canonically ordered key set; nil after any
+	// mutation, rebuilt lazily by keys().
+	sorted []key
 }
 
 // Add stores e, replacing any existing entry for the same
@@ -82,7 +96,7 @@ func (db *DB) Add(e Entry) error {
 	}
 	k := key{e.Benchmark, e.Machine}
 	if _, exists := db.entries[k]; !exists {
-		db.order = append(db.order, k)
+		db.sorted = nil
 	}
 	cp := e
 	if e.Attrs != nil {
@@ -149,13 +163,28 @@ func (db *DB) Benchmarks() []string {
 	return out
 }
 
-// Entries returns all entries in insertion order.
-func (db *DB) Entries() []Entry {
-	out := make([]Entry, 0, len(db.order))
-	for _, k := range db.order {
-		if e, ok := db.entries[k]; ok {
-			out = append(out, *e)
+// keys returns the canonical (benchmark, machine) ordering of the
+// entry set, rebuilding the cached sort after a mutation.
+func (db *DB) keys() []key {
+	if db.sorted == nil && len(db.entries) > 0 {
+		db.sorted = make([]key, 0, len(db.entries))
+		for k := range db.entries {
+			db.sorted = append(db.sorted, k)
 		}
+		sort.Slice(db.sorted, func(i, j int) bool { return db.sorted[i].less(db.sorted[j]) })
+	}
+	return db.sorted
+}
+
+// Entries returns all entries in the canonical order: sorted by
+// benchmark, then machine. The fixed iteration order is what makes
+// Encode — and every content hash derived from it — a pure function
+// of the entry set.
+func (db *DB) Entries() []Entry {
+	ks := db.keys()
+	out := make([]Entry, 0, len(ks))
+	for _, k := range ks {
+		out = append(out, *db.entries[k])
 	}
 	return out
 }
@@ -179,7 +208,12 @@ func (db *DB) Merge(other *DB) {
 
 const header = "# lmbench-go results v1"
 
-// Encode writes the database in the text format.
+// Encode writes the database in the text format, entries in the
+// canonical (benchmark, machine) order and attrs sorted by name. The
+// encoding is a pure function of the entry set: decode → re-encode is
+// byte-identical, and so is any other construction order (parallel
+// merge, fleet unit order, store fragment arrival). Content-addressed
+// storage and HTTP ETags hash exactly these bytes.
 func (db *DB) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, header)

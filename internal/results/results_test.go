@@ -234,13 +234,79 @@ func TestQuickRoundTrip(t *testing.T) {
 	}
 }
 
-func TestEntriesInsertionOrder(t *testing.T) {
+func TestEntriesCanonicalOrder(t *testing.T) {
 	db := &DB{}
 	_ = db.Add(Entry{Benchmark: "z", Machine: "m"})
+	_ = db.Add(Entry{Benchmark: "a", Machine: "n"})
 	_ = db.Add(Entry{Benchmark: "a", Machine: "m"})
 	es := db.Entries()
-	if es[0].Benchmark != "z" || es[1].Benchmark != "a" {
-		t.Errorf("Entries not in insertion order: %v", es)
+	want := []struct{ b, m string }{{"a", "m"}, {"a", "n"}, {"z", "m"}}
+	for i, w := range want {
+		if es[i].Benchmark != w.b || es[i].Machine != w.m {
+			t.Fatalf("Entries not in canonical (benchmark, machine) order: %v", es)
+		}
+	}
+}
+
+// TestEncodeOrderIndependent pins the content-addressing contract: the
+// encoded bytes are a pure function of the entry set, independent of
+// the order entries were added or merged. The store hashes these
+// bytes, so a run published as out-of-order fragments must land on the
+// same content hash as the locally encoded database.
+func TestEncodeOrderIndependent(t *testing.T) {
+	entries := []Entry{
+		{Benchmark: "lat_mem_rd", Machine: "Linux/i686", Unit: "ns",
+			Series: []Point{{512, 8, 5.1}, {1024, 8, 5.2}}},
+		{Benchmark: "bw_mem.bcopy_libc", Machine: "Linux/i686", Unit: "MB/s", Scalar: 42,
+			Attrs: map[string]string{"size": "8388608", "quality.samples": "3"}},
+		{Benchmark: "bw_mem.bcopy_libc", Machine: "HP K210", Unit: "MB/s", Scalar: 84},
+		{Benchmark: "lat_ctx", Machine: "host", Unit: "us", Scalar: 7.5},
+	}
+	encode := func(db *DB) string {
+		var buf bytes.Buffer
+		if err := db.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	forward := &DB{}
+	for _, e := range entries {
+		if err := forward.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := encode(forward)
+
+	reverse := &DB{}
+	for i := len(entries) - 1; i >= 0; i-- {
+		if err := reverse.Add(entries[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := encode(reverse); got != want {
+		t.Errorf("reverse insertion order changed the encoding:\n%s\nvs\n%s", got, want)
+	}
+
+	// Merge order must not matter either.
+	half1, half2 := &DB{}, &DB{}
+	_ = half1.Add(entries[0])
+	_ = half1.Add(entries[3])
+	_ = half2.Add(entries[1])
+	_ = half2.Add(entries[2])
+	merged := &DB{}
+	merged.Merge(half2)
+	merged.Merge(half1)
+	if got := encode(merged); got != want {
+		t.Errorf("merge order changed the encoding:\n%s\nvs\n%s", got, want)
+	}
+
+	// And decode → re-encode is byte-identical.
+	back, err := Decode(strings.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := encode(back); got != want {
+		t.Errorf("decode → re-encode changed the bytes:\n%s\nvs\n%s", got, want)
 	}
 }
 

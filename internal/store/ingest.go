@@ -1,0 +1,277 @@
+package store
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/results"
+	"repro/internal/rpcx"
+)
+
+// The ingestion protocol: how runs reach a store daemon. It reuses the
+// fleet's wire discipline — JSON messages, record-framed with
+// internal/rpcx's RFC-1831 marking — so a fleet coordinator or a local
+// run streams its database to `lmbench -store-listen` with the same
+// framing code that moved the fragments between workers in the first
+// place.
+//
+// One publish is a session:
+//
+//	→ publish   {label, machines, options, code_version}
+//	→ fragment  {entries: [...]}        (zero or more, any order)
+//	→ commit    {content_hash}          (publisher's local hash)
+//	← published {run_id, content_hash, seq}   or   error {error}
+//
+// The daemon re-assembles the fragments into a database, encodes it
+// canonically, and verifies it landed on the publisher's content hash
+// before storing — an end-to-end integrity check that also proves the
+// canonical encoding makes fragment arrival order irrelevant.
+
+// ingestVersion guards the ingestion wire protocol.
+const ingestVersion = 1
+
+// maxFrameBytes bounds one ingest frame; a Figure-1 series fragment
+// with quality attrs is a few hundred KB, so 16MB is far from real
+// traffic while still refusing a corrupt length prefix.
+const maxFrameBytes = 16 << 20
+
+// fragmentEntries is how many entries a publishing client packs per
+// fragment frame.
+const fragmentEntries = 64
+
+// Ingest message types.
+const (
+	msgPublish   = "publish"
+	msgFragment  = "fragment"
+	msgCommit    = "commit"
+	msgPublished = "published"
+	msgError     = "error"
+)
+
+// ingestMsg is one protocol frame.
+type ingestMsg struct {
+	Type string `json:"type"`
+	V    int    `json:"v,omitempty"`
+
+	// publish fields.
+	Label       string   `json:"label,omitempty"`
+	Machines    []string `json:"machines,omitempty"`
+	Options     string   `json:"options,omitempty"`
+	CodeVersion string   `json:"code_version,omitempty"`
+
+	// fragment payload. Entries round-trip exactly: encoding/json
+	// writes float64s in shortest form that parses back to the same
+	// bits.
+	Entries []results.Entry `json:"entries,omitempty"`
+
+	// commit / published fields.
+	ContentHash string `json:"content_hash,omitempty"`
+	RunID       string `json:"run_id,omitempty"`
+	Seq         int64  `json:"seq,omitempty"`
+
+	// error field.
+	Err string `json:"error,omitempty"`
+}
+
+func writeIngest(w io.Writer, m *ingestMsg) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("store: encode %s: %w", m.Type, err)
+	}
+	return rpcx.WriteFrame(w, b)
+}
+
+func readIngest(r io.Reader) (*ingestMsg, error) {
+	b, err := rpcx.ReadFrame(r, maxFrameBytes)
+	if err != nil {
+		return nil, err
+	}
+	var m ingestMsg
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("store: decode frame: %w", err)
+	}
+	return &m, nil
+}
+
+// Serve accepts publish sessions on ln until ctx is cancelled. Each
+// connection is one session; sessions run concurrently (Put serializes
+// the final store write). This is the loop behind
+// `lmbench -store-listen`.
+func Serve(ctx context.Context, ln net.Listener, s *Store) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
+		_ = ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			defer func() { _ = conn.Close() }()
+			handleSession(conn, conn, s)
+		}()
+	}
+}
+
+// HandleSession runs one publish session over an arbitrary
+// reader/writer pair — exported for tests and for piping a session
+// over transports other than TCP.
+func HandleSession(r io.Reader, w io.Writer, s *Store) { handleSession(r, w, s) }
+
+// handleSession consumes one publish session and replies with exactly
+// one published or error frame. A malformed session never panics; the
+// reply (or the connection teardown) carries the failure.
+func handleSession(r io.Reader, w io.Writer, s *Store) {
+	br := bufio.NewReader(r)
+	fail := func(err error) {
+		_ = writeIngest(w, &ingestMsg{Type: msgError, Err: err.Error()})
+	}
+
+	first, err := readIngest(br)
+	if err != nil {
+		fail(fmt.Errorf("reading publish frame: %w", err))
+		return
+	}
+	if first.Type != msgPublish {
+		fail(fmt.Errorf("expected publish frame, got %q", first.Type))
+		return
+	}
+	if first.V != ingestVersion {
+		fail(fmt.Errorf("ingest protocol version %d, want %d", first.V, ingestVersion))
+		return
+	}
+	if len(first.Machines) == 0 {
+		fail(errors.New("publish frame lists no machines"))
+		return
+	}
+
+	db := &results.DB{}
+	for {
+		m, err := readIngest(br)
+		if err != nil {
+			fail(fmt.Errorf("reading fragment: %w", err))
+			return
+		}
+		switch m.Type {
+		case msgFragment:
+			for _, e := range m.Entries {
+				if err := db.Add(e); err != nil {
+					fail(err)
+					return
+				}
+			}
+		case msgCommit:
+			// Re-encode canonically and check we landed on the
+			// publisher's hash: bytes on this side of the wire are the
+			// bytes on that side, whatever order the fragments took.
+			hash, err := ContentHash(db)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if m.ContentHash != "" && m.ContentHash != hash {
+				fail(fmt.Errorf("content hash mismatch: publisher %s, reassembled %s", m.ContentHash, hash))
+				return
+			}
+			stored, err := s.Put(Manifest{
+				Label:       first.Label,
+				Machines:    first.Machines,
+				Options:     first.Options,
+				CodeVersion: first.CodeVersion,
+			}, db)
+			if err != nil {
+				fail(err)
+				return
+			}
+			_ = writeIngest(w, &ingestMsg{
+				Type:        msgPublished,
+				RunID:       stored.RunID,
+				ContentHash: stored.ContentHash,
+				Seq:         stored.Seq,
+			})
+			return
+		default:
+			fail(fmt.Errorf("unexpected %q frame inside publish session", m.Type))
+			return
+		}
+	}
+}
+
+// Publish streams db to the store daemon at addr as one publish
+// session and returns the stored manifest. The store fills RunID and
+// Seq; the client computes the content hash locally so the daemon can
+// verify end-to-end integrity.
+func Publish(ctx context.Context, addr string, m Manifest, db *results.DB) (Manifest, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("store: publish: %w", err)
+	}
+	defer func() { _ = conn.Close() }()
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
+	}
+	stop := context.AfterFunc(ctx, func() { _ = conn.SetDeadline(time.Unix(1, 0)) })
+	defer stop()
+	return PublishSession(conn, conn, m, db)
+}
+
+// PublishSession runs the client side of one publish session over an
+// arbitrary reader/writer pair.
+func PublishSession(r io.Reader, w io.Writer, m Manifest, db *results.DB) (Manifest, error) {
+	hash, err := ContentHash(db)
+	if err != nil {
+		return Manifest{}, err
+	}
+	if err := writeIngest(w, &ingestMsg{
+		Type: msgPublish, V: ingestVersion,
+		Label: m.Label, Machines: m.Machines,
+		Options: m.Options, CodeVersion: m.CodeVersion,
+	}); err != nil {
+		return Manifest{}, err
+	}
+	entries := db.Entries()
+	for len(entries) > 0 {
+		n := fragmentEntries
+		if n > len(entries) {
+			n = len(entries)
+		}
+		if err := writeIngest(w, &ingestMsg{Type: msgFragment, Entries: entries[:n]}); err != nil {
+			return Manifest{}, err
+		}
+		entries = entries[n:]
+	}
+	if err := writeIngest(w, &ingestMsg{Type: msgCommit, ContentHash: hash}); err != nil {
+		return Manifest{}, err
+	}
+	reply, err := readIngest(bufio.NewReader(r))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("store: publish reply: %w", err)
+	}
+	switch reply.Type {
+	case msgPublished:
+		m.RunID = reply.RunID
+		m.ContentHash = reply.ContentHash
+		m.Seq = reply.Seq
+		return m, nil
+	case msgError:
+		return Manifest{}, fmt.Errorf("store: daemon rejected publish: %s", reply.Err)
+	default:
+		return Manifest{}, fmt.Errorf("store: unexpected reply frame %q", reply.Type)
+	}
+}

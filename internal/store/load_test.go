@@ -1,0 +1,118 @@
+package store
+
+// The read path is built for traffic: rendered tables are cached by
+// content hash and every endpoint honors If-None-Match. This load test
+// drives the HTTP surface with the repo's own measurement harness
+// (timing.BenchLoopCtx over a wall clock — the same auto-scaling
+// min-of-N loop the benchmarks use), pushing real requests through a
+// loopback TCP server and checking the cache actually absorbs them.
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/ptime"
+	"repro/internal/timing"
+)
+
+func TestReadPathUnderLoad(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(testManifest("load"), testDB(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Store: s, Registry: obs.NewRegistry()}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	url := ts.URL + "/api/runs/latest/tables"
+	client := ts.Client()
+
+	// Prime the cache and learn the ETag.
+	first, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, first.Body)
+	_ = first.Body.Close()
+	etag := first.Header.Get("ETag")
+	if first.StatusCode != http.StatusOK || etag == "" {
+		t.Fatalf("prime request: status %d, etag %q", first.StatusCode, etag)
+	}
+
+	// Keep batches short: this is a smoke-scale load test, not a
+	// benchmark run.
+	opts := timing.Options{MinSampleTime: 2 * ptime.Millisecond, Samples: 3}
+	clock := timing.NewWallClock()
+	ctx := context.Background()
+
+	measure := func(name string, req func() (*http.Response, error), want int) timing.Measurement {
+		t.Helper()
+		m, err := timing.BenchLoopCtx(ctx, clock, opts, func(n int64) error {
+			for i := int64(0); i < n; i++ {
+				resp, err := req()
+				if err != nil {
+					return err
+				}
+				_, err = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+				if err != nil {
+					return err
+				}
+				if resp.StatusCode != want {
+					t.Fatalf("%s: status %d, want %d", name, resp.StatusCode, want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.PerOp <= 0 || m.N <= 0 {
+			t.Fatalf("%s: degenerate measurement %v", name, m)
+		}
+		t.Logf("%s: %v (~%.0f req/s)", name, m, 1e9/m.PerOpNS())
+		return m
+	}
+
+	// Warm 200s: the render cache serves every one (the table was
+	// rendered once, during priming).
+	hits0 := srv.cacheHitCount()
+	measure("GET 200 (cached render)", func() (*http.Response, error) {
+		return client.Get(url)
+	}, http.StatusOK)
+	if srv.cacheHitCount() == hits0 {
+		t.Error("sustained 200s did not touch the render cache")
+	}
+
+	// Conditional GETs: every request must revalidate to a bodyless 304.
+	nm0 := srv.notModifiedCount()
+	m304 := measure("GET 304 (conditional)", func() (*http.Response, error) {
+		req, err := http.NewRequest("GET", url, nil)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("If-None-Match", etag)
+		return client.Do(req)
+	}, http.StatusNotModified)
+	served := srv.notModifiedCount() - nm0
+	if served <= 0 {
+		t.Error("conditional load was not counted as 304s")
+	}
+	// The harness auto-scaled N so the batches are real traffic, not a
+	// handful of requests.
+	if total := m304.N * int64(len(m304.Samples)); served < total {
+		t.Errorf("304 counter grew by %d, but the harness sent at least %d", served, total)
+	}
+}
+
+// cacheHitCount and notModifiedCount read the server's own counters —
+// the load test trusts the same metrics an operator would watch.
+func (s *Server) cacheHitCount() int64    { return s.cacheHits.Value() }
+func (s *Server) notModifiedCount() int64 { return s.notModified.Value() }

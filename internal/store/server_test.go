@@ -1,0 +1,288 @@
+package store
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/results"
+)
+
+// serverFixture returns a store with two distinct runs and a test
+// server over the API.
+func serverFixture(t *testing.T) (*Store, *Server, *httptest.Server) {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(testManifest("run-a"), testDB(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(testManifest("run-b"), testDB(t, 1.5)); err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Store: s, Registry: obs.NewRegistry()}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return s, srv, ts
+}
+
+func get(t *testing.T, url, etag string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+// TestETagRevalidation: every endpoint returns a strong ETag, and a
+// conditional re-GET with it returns 304 with an empty body.
+func TestETagRevalidation(t *testing.T) {
+	_, _, ts := serverFixture(t)
+	endpoints := []string{
+		"/api/runs",
+		"/api/runs/latest",
+		"/api/runs/latest/db",
+		"/api/runs/latest/tables",
+		"/api/runs/run-a/tables/table7",
+		"/api/compare?ref=run-a&got=run-b",
+		"/api/compare?ref=paper&got=latest",
+		"/api/trend?bench=lat_syscall&machine=Linux%2Fi686",
+		"/api/regressions?base=run-a&head=run-b",
+		"/api/regressions", // defaults: latest~1 vs latest
+	}
+	for _, ep := range endpoints {
+		resp, body := get(t, ts.URL+ep, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d (%s)", ep, resp.StatusCode, body)
+			continue
+		}
+		etag := resp.Header.Get("ETag")
+		if !strings.HasPrefix(etag, `"`) || !strings.HasSuffix(etag, `"`) {
+			t.Errorf("%s: missing or unquoted ETag %q", ep, etag)
+			continue
+		}
+		if len(body) == 0 {
+			t.Errorf("%s: empty body", ep)
+		}
+		resp2, body2 := get(t, ts.URL+ep, etag)
+		if resp2.StatusCode != http.StatusNotModified {
+			t.Errorf("%s: conditional GET returned %d, want 304", ep, resp2.StatusCode)
+		}
+		if len(body2) != 0 {
+			t.Errorf("%s: 304 carried a body", ep)
+		}
+		if resp2.Header.Get("ETag") != etag {
+			t.Errorf("%s: 304 ETag %q, want %q", ep, resp2.Header.Get("ETag"), etag)
+		}
+	}
+}
+
+// TestIngestInvalidatesListings: a new run must change the ETag (and
+// content) of listing-shaped endpoints — the cache-coherence property
+// of generation-keyed ETags.
+func TestIngestInvalidatesListings(t *testing.T) {
+	s, _, ts := serverFixture(t)
+	for _, ep := range []string{
+		"/api/runs",
+		"/api/runs/latest",
+		"/api/trend?bench=lat_syscall&machine=Linux%2Fi686",
+	} {
+		resp, _ := get(t, ts.URL+ep, "")
+		etag := resp.Header.Get("ETag")
+
+		if _, err := s.Put(testManifest("run-c-"+ep), testDB(t, 2+float64(len(ep)))); err != nil {
+			t.Fatal(err)
+		}
+
+		resp2, _ := get(t, ts.URL+ep, etag)
+		if resp2.StatusCode != http.StatusOK {
+			t.Errorf("%s: after ingest, conditional GET returned %d, want 200 (stale ETag must not 304)", ep, resp2.StatusCode)
+		}
+		if resp2.Header.Get("ETag") == etag {
+			t.Errorf("%s: ETag unchanged after ingest", ep)
+		}
+	}
+}
+
+// TestContentKeyedCachingStable: endpoints keyed by content hashes
+// keep their ETag across unrelated ingests — no gratuitous cache
+// invalidation on the heavy rendered endpoints.
+func TestContentKeyedCachingStable(t *testing.T) {
+	s, _, ts := serverFixture(t)
+	ep := "/api/compare?ref=run-a&got=run-b"
+	resp, body := get(t, ts.URL+ep, "")
+	etag := resp.Header.Get("ETag")
+
+	if _, err := s.Put(testManifest("unrelated"), testDB(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	resp2, body2 := get(t, ts.URL+ep, "")
+	if resp2.Header.Get("ETag") != etag || body2 != body {
+		t.Errorf("%s: pinned-ref comparison changed after unrelated ingest", ep)
+	}
+	resp3, _ := get(t, ts.URL+ep, etag)
+	if resp3.StatusCode != http.StatusNotModified {
+		t.Errorf("%s: conditional GET after unrelated ingest returned %d, want 304", ep, resp3.StatusCode)
+	}
+}
+
+// TestLatestComparisonFollowsIngest: a comparison against "latest"
+// re-renders when a new run lands (the resolved content hash keys the
+// ETag).
+func TestLatestComparisonFollowsIngest(t *testing.T) {
+	s, _, ts := serverFixture(t)
+	ep := "/api/compare?ref=run-a&got=latest"
+	resp, _ := get(t, ts.URL+ep, "")
+	etag := resp.Header.Get("ETag")
+
+	if _, err := s.Put(testManifest("newer"), testDB(t, 4)); err != nil {
+		t.Fatal(err)
+	}
+	resp2, _ := get(t, ts.URL+ep, etag)
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("conditional GET after ingest returned %d, want 200", resp2.StatusCode)
+	}
+	if resp2.Header.Get("ETag") == etag {
+		t.Error("latest-comparison ETag unchanged after ingest")
+	}
+}
+
+// TestRegressionEndpointShape: identical runs produce the empty
+// report; distinct runs report the injected deltas.
+func TestRegressionEndpointShape(t *testing.T) {
+	s, _, ts := serverFixture(t)
+	// Identical content republished under another label dedupes, so
+	// compare run-a with itself.
+	resp, body := get(t, ts.URL+"/api/regressions?base=run-a&head=run-a", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "no significant changes") {
+		t.Errorf("self-comparison is not empty:\n%s", body)
+	}
+
+	resp, body = get(t, ts.URL+"/api/regressions?base=run-a&head=run-b", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "REGRESSION") {
+		t.Errorf("scaled run reported no regressions:\n%s", body)
+	}
+	_ = s
+}
+
+// TestTrendJSON: the trend series lists every run carrying the scalar,
+// in ingest order.
+func TestTrendJSON(t *testing.T) {
+	_, _, ts := serverFixture(t)
+	resp, body := get(t, ts.URL+"/api/trend?bench=lat_syscall&machine=Linux%2Fi686", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var points []TrendPoint
+	if err := json.Unmarshal([]byte(body), &points); err != nil {
+		t.Fatalf("trend is not JSON: %v\n%s", err, body)
+	}
+	if len(points) != 2 {
+		t.Fatalf("trend has %d points, want 2:\n%s", len(points), body)
+	}
+	if points[0].Seq >= points[1].Seq {
+		t.Errorf("trend not in ingest order: %+v", points)
+	}
+	if points[0].Value == points[1].Value {
+		t.Errorf("distinct runs report identical values: %+v", points)
+	}
+}
+
+// TestErrorCodes: unknown references 404, bad requests 400.
+func TestErrorCodes(t *testing.T) {
+	_, _, ts := serverFixture(t)
+	for _, c := range []struct {
+		ep   string
+		want int
+	}{
+		{"/api/runs/nosuchrun", http.StatusNotFound},
+		{"/api/runs/latest~99", http.StatusNotFound},
+		{"/api/compare?ref=paper", http.StatusBadRequest},
+		{"/api/trend?bench=only", http.StatusBadRequest},
+		{"/api/runs/latest/tables/table99", http.StatusInternalServerError},
+	} {
+		resp, _ := get(t, ts.URL+c.ep, "")
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d", c.ep, resp.StatusCode, c.want)
+		}
+	}
+}
+
+// TestErrorsCarryNoValidator: a failed render must not send an ETag.
+// The validator names a successful rendering; an error response that
+// carried one would let the client revalidate the failure to a 304
+// forever after.
+func TestErrorsCarryNoValidator(t *testing.T) {
+	s, _, ts := serverFixture(t)
+	other := &results.DB{}
+	if err := other.Add(results.Entry{Benchmark: "lat_fs_create", Machine: "Sun Ultra1", Unit: "us", Scalar: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(Manifest{Label: "disjoint", Machines: []string{"Sun Ultra1"},
+		Options: "{}", CodeVersion: "test-v1"}, other); err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range []string{
+		"/api/runs/latest/tables/table99",     // render fails: unknown table
+		"/api/compare?ref=run-a&got=disjoint", // render fails: nothing in common
+	} {
+		resp, body := get(t, ts.URL+ep, "")
+		if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusNotModified {
+			t.Errorf("%s: status %d, want an error", ep, resp.StatusCode)
+		}
+		if etag := resp.Header.Get("ETag"); etag != "" {
+			t.Errorf("%s: error response carried ETag %q: %s", ep, etag, body)
+		}
+	}
+	// A comparison with nothing in common is the client's mistake, not
+	// a server fault.
+	resp, _ := get(t, ts.URL+"/api/compare?ref=run-a&got=disjoint", "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("disjoint compare: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestMetricsExposed: the server counts its traffic in lmbench_store_*
+// families.
+func TestMetricsExposed(t *testing.T) {
+	_, _, ts := serverFixture(t)
+	resp, _ := get(t, ts.URL+"/api/runs", "")
+	etag := resp.Header.Get("ETag")
+	_, _ = get(t, ts.URL+"/api/runs", etag) // a 304
+	_, body := get(t, ts.URL+"/metrics", "")
+	for _, want := range []string{
+		"lmbench_store_http_requests_total",
+		"lmbench_store_http_not_modified_total",
+		"lmbench_store_render_cache",
+		"lmbench_store_runs 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics exposition missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/results"
+)
+
+// testDB builds a small, representative database: scalars on two
+// machines, a series, and quality attrs.
+func testDB(t *testing.T, scale float64) *results.DB {
+	t.Helper()
+	db := &results.DB{}
+	add := func(e results.Entry) {
+		if err := db.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(results.Entry{Benchmark: "lat_syscall", Machine: "Linux/i686", Unit: "us", Scalar: 4.2 * scale,
+		Attrs: map[string]string{"quality.samples": "3", "quality.spread": "0.01"}})
+	add(results.Entry{Benchmark: "lat_syscall", Machine: "HP K210", Unit: "us", Scalar: 3.1 * scale})
+	add(results.Entry{Benchmark: "bw_mem.bcopy_libc", Machine: "Linux/i686", Unit: "MB/s", Scalar: 42 / scale})
+	add(results.Entry{Benchmark: "lat_mem_rd", Machine: "Linux/i686", Unit: "ns",
+		Series: []results.Point{
+			{X: 512, X2: 8, Y: 5.1},
+			{X: 1024, X2: 8, Y: 5.2 * scale},
+			{X: 1 << 20, X2: 64, Y: 180 * scale},
+		}})
+	return db
+}
+
+func testManifest(label string) Manifest {
+	return Manifest{
+		Label:       label,
+		Machines:    []string{"Linux/i686", "HP K210"},
+		Options:     `{"MemSize":8388608}`,
+		CodeVersion: "test-v1",
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := testDB(t, 1)
+	wantEnc, wantHash, err := EncodeDB(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Put(testManifest("first"), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ContentHash != wantHash {
+		t.Errorf("content hash %s, want %s", m.ContentHash, wantHash)
+	}
+	if m.RunID == "" || m.Seq != 1 || m.Entries != db.Len() {
+		t.Errorf("stored manifest incomplete: %+v", m)
+	}
+	if m.RunID != RunIDFor(m) {
+		t.Errorf("run ID %s does not match its manifest key %s", m.RunID, RunIDFor(m))
+	}
+
+	// The stored object is the canonical encoding, byte for byte.
+	obj, err := s.Object(m.ContentHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(obj) != string(wantEnc) {
+		t.Error("stored object differs from the canonical encoding")
+	}
+
+	// And the decoded run re-encodes identically (round trip through
+	// the store preserves content addressing).
+	got, db2, err := s.DB(m.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RunID != m.RunID {
+		t.Errorf("DB resolved run %s, want %s", got.RunID, m.RunID)
+	}
+	h2, err := ContentHash(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != wantHash {
+		t.Errorf("store round trip changed the content hash: %s != %s", h2, wantHash)
+	}
+}
+
+// TestPutIdempotent: publishing the same run twice is a no-op — the
+// content-addressed key makes "already have it" a hash comparison.
+func TestPutIdempotent(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Put(testManifest("a"), testDB(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Put(testManifest("a"), testDB(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.RunID != first.RunID || second.Seq != first.Seq {
+		t.Errorf("re-publish was not idempotent: %+v vs %+v", second, first)
+	}
+	runs, err := s.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Errorf("store holds %d runs after duplicate publish, want 1", len(runs))
+	}
+}
+
+// TestPutDistinguishesRuns: different content, options or code version
+// produce different run IDs; same content under a different label does
+// not.
+func TestPutDistinguishesRuns(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.Put(testManifest("base"), testDB(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	relabeled, err := s.Put(testManifest("other-label"), testDB(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relabeled.RunID != base.RunID {
+		t.Error("label changed the run key; it must be descriptive only")
+	}
+	if relabeled.Label != "base" {
+		t.Errorf("idempotent re-publish rewrote the label to %q", relabeled.Label)
+	}
+
+	changedContent, err := s.Put(testManifest("base"), testDB(t, 1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changedContent.RunID == base.RunID {
+		t.Error("different content deduped onto the same run ID")
+	}
+	if changedContent.Seq != base.Seq+1 {
+		t.Errorf("second distinct run got seq %d, want %d", changedContent.Seq, base.Seq+1)
+	}
+
+	mv := testManifest("base")
+	mv.CodeVersion = "test-v2"
+	changedVersion, err := s.Put(mv, testDB(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changedVersion.RunID == base.RunID {
+		t.Error("different code version deduped onto the same run ID")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Put(testManifest("run-a"), testDB(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Put(testManifest("run-b"), testDB(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		ref  string
+		want string
+	}{
+		{first.RunID, first.RunID},
+		{first.RunID[:12], first.RunID},
+		{"run-a", first.RunID},
+		{"run-b", second.RunID},
+		{"latest", second.RunID},
+		{"latest~1", first.RunID},
+	}
+	for _, c := range cases {
+		m, err := s.Resolve(c.ref)
+		if err != nil {
+			t.Errorf("Resolve(%q): %v", c.ref, err)
+			continue
+		}
+		if m.RunID != c.want {
+			t.Errorf("Resolve(%q) = %s, want %s", c.ref, m.RunID, c.want)
+		}
+	}
+
+	for _, bad := range []string{"", "latest~2", "latest~-1", "nope", "deadbeef99", "../../etc/passwd"} {
+		if _, err := s.Resolve(bad); err == nil {
+			t.Errorf("Resolve(%q) unexpectedly succeeded", bad)
+		}
+	}
+}
+
+func TestGenerationChangesOnIngest(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0, err := s.Generation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(testManifest("a"), testDB(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	g1, err := s.Generation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g0 == g1 {
+		t.Error("generation unchanged by ingest")
+	}
+	// Idempotent re-publish must NOT change the generation (no cache
+	// invalidation for a no-op).
+	if _, err := s.Put(testManifest("a"), testDB(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := s.Generation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Error("generation changed by an idempotent re-publish")
+	}
+}
+
+func TestFingerprintNormalizes(t *testing.T) {
+	zero, err := Fingerprint(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := Fingerprint(core.Options{MemSize: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero != explicit {
+		t.Error("zero options and explicit defaults fingerprint differently")
+	}
+	other, err := Fingerprint(core.Options{MemSize: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero == other {
+		t.Error("different options fingerprint identically")
+	}
+	if _, err := Fingerprint(core.Options{MemSize: -1}); err == nil {
+		t.Error("invalid options fingerprinted without error")
+	}
+}
+
+func TestCorruptObjectDetected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Put(testManifest("a"), testDB(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the blob on disk; the content-hash check must refuse it.
+	obj, err := s.Object(m.ContentHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := strings.Replace(string(obj), "lat_syscall", "lat_hijack!", 1)
+	if err := writeAtomic(s.objectPath(m.ContentHash), []byte(corrupted)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.DB(m.RunID); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("corrupted object served without error (err=%v)", err)
+	}
+}
