@@ -4,7 +4,7 @@ GO ?= go
 #   make chaos LMBENCH_CHAOS_SEED=99
 LMBENCH_CHAOS_SEED ?= 1
 
-.PHONY: all build vet test race chaos verify bench bench-smoke serve-smoke fleet-smoke store-smoke fuzz-smoke profile
+.PHONY: all build vet test race chaos chaos-net verify bench bench-smoke serve-smoke fleet-smoke store-smoke fuzz-smoke profile
 
 # Benchmarks recorded in BENCH_pr3.json: the Figure-1 sweep plus the
 # memory-heavy tables (the simulator hot paths), and the simmem
@@ -24,18 +24,27 @@ vet:
 test:
 	$(GO) test ./...
 
-# The scheduler, timing harness, fault-injection wrapper, fleet
-# coordinator, observability layer and results store are the
-# concurrency-sensitive packages; run them (including the journal,
-# resume, chaos, worker-kill, metrics-scrape, ingest and HTTP-cache
-# suites) under the race detector.
+# The scheduler, timing harness, fault-injection wrapper, wire-chaos
+# injector, fleet coordinator, observability layer and results store
+# are the concurrency-sensitive packages; run them (including the
+# journal, resume, chaos, worker-kill, metrics-scrape, ingest,
+# HTTP-cache, drain and chaos-transport suites) under the race
+# detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/timing/... ./internal/faults/... ./internal/obs/... ./internal/fleet/... ./internal/store/...
+	$(GO) test -race ./internal/core/... ./internal/timing/... ./internal/faults/... ./internal/netfaults/... ./internal/obs/... ./internal/fleet/... ./internal/store/...
 
 # chaos runs the fault-injection scheduler suite on its own, race-
 # enabled and verbose, with a fixed seed for reproducible streams.
 chaos:
 	LMBENCH_CHAOS_SEED=$(LMBENCH_CHAOS_SEED) $(GO) test -race -v -run 'TestChaos' ./internal/faults/
+
+# chaos-net is the distributed-layer failure drill: every publish goes
+# through a deterministic lossy proxy (>=10% frame fault rate), the
+# store daemon is kill -9'd mid-ingest and restarted on the same
+# address, and serial + fleet publishes must still dedupe onto one run
+# byte-identical to the committed golden database with a clean scrub.
+chaos-net:
+	GO="$(GO)" ./scripts/chaos_smoke.sh
 
 # bench measures the hot-path benchmarks ($(BENCH_COUNT) runs each; the
 # text logs feed benchstat directly) and condenses them into
@@ -84,6 +93,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzManifestShard$$' -fuzztime 2s ./internal/store/
 	$(GO) test -run '^$$' -fuzz '^FuzzObjectShard$$' -fuzztime 2s ./internal/store/
 	$(GO) test -run '^$$' -fuzz '^FuzzIngestStream$$' -fuzztime 2s ./internal/store/
+	$(GO) test -run '^$$' -fuzz '^FuzzScrub$$' -fuzztime 2s ./internal/store/
 
 # profile captures pprof CPU and heap profiles of a representative
 # simulated run; inspect with `go tool pprof cpu.pprof`.
@@ -92,10 +102,12 @@ profile:
 	@echo "wrote cpu.pprof and mem.pprof"
 
 # verify is the tier-1 gate: everything must build, vet clean, pass
-# tests, the concurrent scheduler, fleet coordinator, observability
-# layer and results store must be race-clean, the bench harness must
-# run, the -serve endpoints must answer during a live run, a worker
-# fleet must produce serial-identical bytes, the results service must
-# ingest/serve/revalidate end to end, and the codecs must survive a
-# fuzz smoke.
-verify: build vet test race bench-smoke serve-smoke fleet-smoke store-smoke fuzz-smoke
+# tests, the concurrent scheduler, wire-chaos injector, fleet
+# coordinator, observability layer and results store must be
+# race-clean, the bench harness must run, the -serve endpoints must
+# answer during a live run, a worker fleet must produce
+# serial-identical bytes, the results service must
+# ingest/serve/revalidate end to end, the codecs and scrub must
+# survive a fuzz smoke, and the distributed layer must converge
+# through wire chaos and a mid-ingest kill.
+verify: build vet test race bench-smoke serve-smoke fleet-smoke store-smoke fuzz-smoke chaos-net

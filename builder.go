@@ -34,6 +34,7 @@ type Bench struct {
 	fleetConnect   []string
 	storeDir       string
 	publishAddr    string
+	publishRetries int
 	runLabel       string
 }
 
@@ -167,6 +168,15 @@ func WithPublish(addr string) Option {
 	return func(b *Bench) { b.publishAddr = addr }
 }
 
+// WithPublishRetries caps how many times a failed publish is retried
+// with doubling backoff (0 = the default of 4, negative disables).
+// Retrying is always safe: runs are content-addressed, so a publish
+// that half-landed before the connection died is finished idempotently
+// by the next attempt.
+func WithPublishRetries(n int) Option {
+	return func(b *Bench) { b.publishRetries = n }
+}
+
 // WithRunLabel tags the run with a human-readable label
 // ("nightly-2026-08-08"). Labels are descriptive, not part of the run
 // key, and stored runs can be queried by them.
@@ -287,7 +297,8 @@ func (b *Bench) Run(ctx context.Context) (*Report, error) {
 		rep.RunID = m.RunID
 	}
 	if b.publishAddr != "" {
-		m, err := istore.Publish(ctx, b.publishAddr, rep.manifest, db)
+		m, err := istore.PublishWith(ctx, b.publishAddr, rep.manifest, db,
+			istore.PublishOptions{Retries: b.publishRetries})
 		if err != nil {
 			return nil, fmt.Errorf("lmbench: publish to %s: %w", b.publishAddr, err)
 		}

@@ -27,6 +27,15 @@
 //	lmbench -run-label nightly       # label the stored run
 //	lmbench -store-listen :7878 -store-dir store/ -store-http :8080
 //	                                 # run as the results-store daemon
+//	lmbench -store-scrub -store-dir store/
+//	                                 # verify the store: re-hash objects,
+//	                                 # quarantine corruption, sweep partials
+//	lmbench -chaos-net 'seed=1,drop=0.1' -chaos-listen :7879 -chaos-target host:7878
+//	                                 # run a deterministic lossy proxy
+//
+// The daemon modes (-fleet-listen, -store-listen) drain gracefully on
+// SIGINT/SIGTERM: the listener closes immediately, in-flight work
+// finishes, then the process exits 0.
 package main
 
 import (
@@ -40,6 +49,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	lmbench "repro"
 	"repro/internal/core"
@@ -47,6 +57,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/host"
 	"repro/internal/machines"
+	"repro/internal/netfaults"
 	"repro/internal/paper"
 	"repro/internal/ptime"
 	"repro/internal/results"
@@ -94,8 +105,14 @@ func run() error {
 		publishFlag     = flag.String("publish", "", "stream the finished run to a results-store daemon at this address")
 		runLabelFlag    = flag.String("run-label", "", "label the stored run (with -store or -publish)")
 		storeListenFlag = flag.String("store-listen", "", "run as a results-store daemon: accept published runs on this address")
-		storeDirFlag    = flag.String("store-dir", "lmbench-store", "store directory for -store-listen")
+		storeDirFlag    = flag.String("store-dir", "lmbench-store", "store directory for -store-listen and -store-scrub")
 		storeHTTPFlag   = flag.String("store-http", "", "with -store-listen, also serve the store query API on this address")
+		storeScrubFlag  = flag.Bool("store-scrub", false, "verify the store at -store-dir (re-hash objects, quarantine corruption, sweep partial writes), report, exit")
+		pubRetriesFlag  = flag.Int("publish-retries", 0, "retries for a failed -publish, with doubling backoff (0 = default of 4, negative disables)")
+
+		chaosNetFlag    = flag.String("chaos-net", "", "run as a deterministic lossy proxy with this fault plan, e.g. 'seed=1,drop=0.1,trunc=0.05' (see internal/netfaults)")
+		chaosListenFlag = flag.String("chaos-listen", "127.0.0.1:0", "listen address for -chaos-net")
+		chaosTargetFlag = flag.String("chaos-target", "", "forward address for -chaos-net")
 	)
 	var merges, fleetConnect multiFlag
 	flag.Var(&merges, "merge", "preload a results database (repeatable)")
@@ -106,7 +123,7 @@ func run() error {
 		return fleet.Work(context.Background(), os.Stdin, os.Stdout)
 	}
 	if *listenFlag != "" {
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		ln, err := net.Listen("tcp", *listenFlag)
 		if err != nil {
@@ -117,8 +134,14 @@ func run() error {
 		}
 		return fleet.Serve(ctx, ln)
 	}
+	if *storeScrubFlag {
+		return scrubStore(*storeDirFlag)
+	}
 	if *storeListenFlag != "" {
 		return serveStore(*storeListenFlag, *storeDirFlag, *storeHTTPFlag, *quietFlag)
+	}
+	if *chaosNetFlag != "" {
+		return serveChaosProxy(*chaosNetFlag, *chaosListenFlag, *chaosTargetFlag, *quietFlag)
 	}
 	fleetMode := *fleetFlag > 0 || len(fleetConnect) > 0
 
@@ -262,7 +285,7 @@ func run() error {
 		}()
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	var sinks core.MultiSink
@@ -308,6 +331,9 @@ func run() error {
 		}
 		sinks = append(sinks, lmbench.NewMetricsSink(registry), progress)
 		lmbench.RegisterHarness(registry)
+		if *publishFlag != "" {
+			lmbench.RegisterPublishRetries(registry)
+		}
 		if journal != nil {
 			lmbench.RegisterJournal(registry, journal)
 		}
@@ -406,7 +432,7 @@ func run() error {
 	}
 
 	if *storeFlag != "" || *publishFlag != "" {
-		runID, err := publishRun(ctx, db, targets, opts, *runLabelFlag, *storeFlag, *publishFlag)
+		runID, err := publishRun(ctx, db, targets, opts, *runLabelFlag, *storeFlag, *publishFlag, *pubRetriesFlag)
 		if err != nil {
 			return err
 		}
@@ -491,13 +517,23 @@ func openJournal(journalPath, resumePath string) (*core.JournalWriter, *core.Jou
 // serveStore runs the results-store daemon: runs published with
 // -publish land in the store at dir, and, when httpAddr is set, the
 // query/compare API (run listings, paper tables, comparisons, trends,
-// regression reports) is served alongside.
+// regression reports) is served alongside. The store is scrubbed at
+// startup — a daemon that crashed mid-ingest comes back with partial
+// writes swept and any corruption quarantined — and SIGINT/SIGTERM
+// drain in-flight publishes before the process exits.
 func serveStore(listenAddr, dir, httpAddr string, quiet bool) error {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	s, err := lmbench.OpenStore(dir)
 	if err != nil {
 		return fmt.Errorf("-store-dir: %w", err)
+	}
+	rep, err := s.Scrub()
+	if err != nil {
+		return fmt.Errorf("startup scrub: %w", err)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "startup scrub: %s\n", rep)
 	}
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
@@ -506,8 +542,9 @@ func serveStore(listenAddr, dir, httpAddr string, quiet bool) error {
 	if !quiet {
 		fmt.Fprintf(os.Stderr, "results store daemon on %s (store %s)\n", ln.Addr(), dir)
 	}
+	registry := lmbench.NewRegistry()
 	if httpAddr != "" {
-		srv := &lmbench.StoreServer{Store: s, Registry: lmbench.NewRegistry()}
+		srv := &lmbench.StoreServer{Store: s, Registry: registry}
 		addr, stopServe, err := srv.Start(ctx, httpAddr)
 		if err != nil {
 			return fmt.Errorf("-store-http: %w", err)
@@ -517,12 +554,59 @@ func serveStore(listenAddr, dir, httpAddr string, quiet bool) error {
 			fmt.Fprintf(os.Stderr, "store api: http://%s/api/runs\n", addr)
 		}
 	}
-	return lmbench.ServeStoreIngest(ctx, ln, s)
+	return lmbench.ServeStoreIngestWith(ctx, ln, s, lmbench.IngestOptions{Registry: registry})
+}
+
+// scrubStore verifies the store at dir on demand and prints what was
+// found; corruption is quarantined (never deleted) and partial writes
+// swept, so a crashed daemon's directory is safe to serve again.
+func scrubStore(dir string) error {
+	s, err := lmbench.OpenStore(dir)
+	if err != nil {
+		return fmt.Errorf("-store-dir: %w", err)
+	}
+	rep, err := s.Scrub()
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	return nil
+}
+
+// serveChaosProxy runs the deterministic lossy proxy: record-framed
+// traffic relayed to target with seeded frame-level faults, for
+// rehearsing daemon failures without touching the daemons themselves.
+func serveChaosProxy(planText, listenAddr, target string, quiet bool) error {
+	if target == "" {
+		return fmt.Errorf("-chaos-net requires -chaos-target")
+	}
+	plan, err := netfaults.ParsePlan(planText)
+	if err != nil {
+		return fmt.Errorf("-chaos-net: %w", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	inj := netfaults.New(plan)
+	p := &netfaults.Proxy{Inj: inj, Target: target}
+	if !quiet {
+		p.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "chaos: "+format+"\n", args...)
+		}
+	}
+	err = p.ListenAndServe(ctx, listenAddr, func(addr net.Addr) {
+		// The address line is machine-readable on stdout so scripts can
+		// point publishers at an ephemeral proxy port.
+		fmt.Printf("chaos proxy %s -> %s\n", addr, target)
+	})
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "chaos proxy: %s\n", inj.Stats())
+	}
+	return err
 }
 
 // publishRun lands the finished database in a local store and/or a
 // remote daemon, keyed by what was run; see internal/store.
-func publishRun(ctx context.Context, db *results.DB, targets []core.Machine, opts core.Options, label, storeDir, publishAddr string) (string, error) {
+func publishRun(ctx context.Context, db *results.DB, targets []core.Machine, opts core.Options, label, storeDir, publishAddr string, retries int) (string, error) {
 	fp, err := store.Fingerprint(opts)
 	if err != nil {
 		return "", err
@@ -544,7 +628,12 @@ func publishRun(ctx context.Context, db *results.DB, targets []core.Machine, opt
 		runID = put.RunID
 	}
 	if publishAddr != "" {
-		put, err := store.Publish(ctx, publishAddr, m, db)
+		put, err := store.PublishWith(ctx, publishAddr, m, db, store.PublishOptions{
+			Retries: retries,
+			OnRetry: func(n int, err error) {
+				fmt.Fprintf(os.Stderr, "publish retry %d: %v\n", n, err)
+			},
+		})
 		if err != nil {
 			return "", fmt.Errorf("-publish %s: %w", publishAddr, err)
 		}

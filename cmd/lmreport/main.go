@@ -11,6 +11,8 @@
 //	lmreport -machines 'Linux/i686,HP K210'
 //	lmreport -store store/        # publish the run into a results store
 //	lmreport -publish host:7878   # publish to a store daemon
+//	lmreport -fleet-workers 2     # execute across worker processes
+//	                              # (byte-identical to the serial run)
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 )
 
 func main() {
+	lmbench.MaybeChild() // fleet workers re-exec this binary
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "lmreport:", err)
 		os.Exit(1)
@@ -45,7 +48,9 @@ func run() error {
 		quietFlag   = flag.Bool("quiet", false, "suppress progress output")
 		storeFlag   = flag.String("store", "", "publish the finished run into the results store at this directory")
 		publishFlag = flag.String("publish", "", "publish the finished run to a store daemon at this address")
+		retriesFlag = flag.Int("publish-retries", 0, "retries for a failed -publish, with doubling backoff (0 = default of 4)")
 		labelFlag   = flag.String("run-label", "", "label the published run (with -store or -publish)")
+		fleetFlag   = flag.Int("fleet-workers", 0, "execute across this many worker processes (results are byte-identical to serial)")
 	)
 	flag.Parse()
 
@@ -90,8 +95,14 @@ func run() error {
 	if *publishFlag != "" {
 		options = append(options, lmbench.WithPublish(*publishFlag))
 	}
+	if *retriesFlag != 0 {
+		options = append(options, lmbench.WithPublishRetries(*retriesFlag))
+	}
 	if *labelFlag != "" {
 		options = append(options, lmbench.WithRunLabel(*labelFlag))
+	}
+	if *fleetFlag > 0 {
+		options = append(options, lmbench.WithFleet(*fleetFlag))
 	}
 
 	rep, err := lmbench.New(options...).Run(context.Background())

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"time"
 
@@ -106,6 +107,21 @@ type Coordinator struct {
 	// of re-executing completed units.
 	Journal *core.JournalWriter
 	Resume  *core.JournalReplay
+	// PeerTimeout is the idle read deadline on remote worker
+	// connections: a daemon silent for this long — workers heartbeat
+	// every 5s while executing — is declared dead and its unit
+	// re-dispatched. Zero means the DialOptions default (60s); negative
+	// disables. While a remote worker sits idle the coordinator pings it
+	// every idlePingInterval so the daemon's own idle timeout doesn't
+	// reap a healthy session between units.
+	PeerTimeout time.Duration
+	// DialRetries and DialBackoff shape the capped-backoff retry when
+	// dialing Connect addresses (see DialOptions); zero means defaults.
+	DialRetries int
+	DialBackoff time.Duration
+	// WrapConn, when set, wraps every dialed remote connection — the
+	// chaos seam (netfaults installs its injector here).
+	WrapConn func(net.Conn) net.Conn
 	// Obs sees scheduling activity; nil means unobserved.
 	Obs Observer
 
@@ -278,7 +294,10 @@ func (c *Coordinator) Run(ctx context.Context, db *results.DB) (map[string][]str
 			}
 		}
 		for _, addr := range c.Connect {
-			w, err := Dial(addr)
+			w, err := DialWith(runCtx, addr, DialOptions{
+				Retries: c.DialRetries, Backoff: c.DialBackoff,
+				PeerTimeout: c.PeerTimeout, WrapConn: c.WrapConn,
+			})
 			if err != nil {
 				cancel()
 				r.shutdown()
@@ -372,13 +391,31 @@ func (r *run) startWorker(w workerConn, local bool) {
 	}()
 }
 
+// idlePingInterval is how often the coordinator pings a remote worker
+// that has no unit in flight, well inside the daemon's 60s idle
+// timeout.
+const idlePingInterval = 10 * time.Second
+
 // workerLoop pulls units off the queue and drives them through w until
-// the run ends or the worker dies.
+// the run ends or the worker dies. Remote workers are pinged while
+// idle; a failed ping retires the worker exactly as a failed dispatch
+// would, except there is no unit to re-queue.
 func (r *run) workerLoop(w workerConn, local bool) {
+	var pingC <-chan time.Time
+	if !local {
+		t := time.NewTicker(idlePingInterval)
+		defer t.Stop()
+		pingC = t.C
+	}
 	for {
 		select {
 		case <-r.ctx.Done():
 			return
+		case <-pingC:
+			if err := w.send(&wireMsg{Type: msgPing}); err != nil {
+				r.workerGone(w, err)
+				return
+			}
 		case i := <-r.queue:
 			r.mu.Lock()
 			if r.res[i].done { // late duplicate enqueue; nothing to do
@@ -412,6 +449,31 @@ func (r *run) workerLoop(w workerConn, local bool) {
 	}
 }
 
+// workerGone retires a worker that died with no unit in flight (an
+// idle ping failed). If it was the last worker and units are still
+// queued, the run cannot finish — the next queued unit is failed so
+// the run terminates instead of hanging.
+func (r *run) workerGone(w workerConn, cause error) {
+	r.mu.Lock()
+	r.liveWorkers--
+	live := r.liveWorkers
+	r.mu.Unlock()
+	r.obs.WorkerDown(w.id(), cause)
+	w.close()
+	if live > 0 {
+		return
+	}
+	select {
+	case i := <-r.queue:
+		r.mu.Lock()
+		r.queued--
+		r.inflight++
+		r.mu.Unlock()
+		r.fail(i, fmt.Errorf("fleet: worker pool died: %w", cause))
+	default:
+	}
+}
+
 // driveUnit sends unit i to w and pumps its frames until the result
 // arrives. A non-nil error means the transport failed and the unit's
 // fate is unknown — the caller re-dispatches it.
@@ -435,6 +497,9 @@ func (r *run) driveUnit(w workerConn, i int) error {
 			return err
 		}
 		switch m.Type {
+		case msgPing:
+			// In-unit heartbeat; its arrival already re-armed the idle
+			// deadline.
 		case msgEvent:
 			if m.Event != nil {
 				if m.Event.Kind == core.ExperimentSkipped {

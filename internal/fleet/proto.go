@@ -45,8 +45,9 @@ import (
 // protoVersion guards the wire protocol. Local workers are re-execs of
 // the coordinator binary and always match; a remote worker daemon built
 // from different sources refuses mismatched units instead of producing
-// silently divergent results.
-const protoVersion = 1
+// silently divergent results. v2 added ping frames (idle keepalives and
+// in-unit heartbeats), which a v1 endpoint would reject as unexpected.
+const protoVersion = 2
 
 // maxFrameBytes bounds one protocol frame. The largest legitimate
 // payload — a Figure-1 series fragment with quality attrs — is a few
@@ -59,6 +60,13 @@ const (
 	msgUnit   = "unit"   // coordinator → worker: execute one work unit
 	msgEvent  = "event"  // worker → coordinator: one suite lifecycle event
 	msgResult = "result" // worker → coordinator: the unit's outcome
+	// msgPing flows both ways and is ignored by the receiver; it exists
+	// purely to keep idle deadlines from firing on healthy sessions.
+	// The coordinator pings an idle remote worker so the daemon's idle
+	// timeout doesn't reap it between units; a worker heartbeats during
+	// unit execution so the coordinator's peer timeout doesn't declare
+	// it dead mid-measurement.
+	msgPing = "ping"
 )
 
 // wireMsg is one protocol frame: a JSON object, record-framed. A flat

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/machines"
@@ -38,6 +39,11 @@ func MaybeWorker() {
 	os.Exit(0)
 }
 
+// heartbeatInterval is how often a worker pings the coordinator while
+// executing a unit, so the coordinator's peer timeout measures silence,
+// not measurement duration.
+const heartbeatInterval = 5 * time.Second
+
 // Work serves one coordinator session: unit frames are read from r,
 // events stream back as the suite runs, and one result frame answers
 // each unit. It returns nil when the coordinator closes the stream and
@@ -46,6 +52,15 @@ func MaybeWorker() {
 // every attempt, so a reused machine is indistinguishable from a new
 // one (core.Resetter) and unit results match a serial run exactly.
 func Work(ctx context.Context, r io.Reader, w io.Writer) error {
+	return work(ctx, nil, func(bool) {}, r, w)
+}
+
+// work is Work plus the daemon's drain hooks: when drain closes, the
+// session finishes the unit it is executing (if any) and exits cleanly
+// instead of waiting for the next unit; setBusy brackets unit
+// execution so the daemon knows which sessions it may cut loose
+// immediately.
+func work(ctx context.Context, drain <-chan struct{}, setBusy func(bool), r io.Reader, w io.Writer) error {
 	s := newSession(r, w)
 	cache := map[string]core.Machine{}
 	// Events and results share the write side; a mutex keeps frames
@@ -56,13 +71,31 @@ func Work(ctx context.Context, r io.Reader, w io.Writer) error {
 		defer wmu.Unlock()
 		return s.send(m)
 	}
+	draining := func() bool {
+		select {
+		case <-drain:
+			return true
+		default:
+			return false
+		}
+	}
 	for {
+		if draining() {
+			return nil
+		}
 		m, err := s.recv()
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
+			if draining() {
+				// The daemon cut an idle session loose; not a failure.
+				return nil
+			}
 			return err
+		}
+		if m.Type == msgPing {
+			continue
 		}
 		if m.Type != msgUnit {
 			return fmt.Errorf("fleet: worker got unexpected %q frame", m.Type)
@@ -70,11 +103,45 @@ func Work(ctx context.Context, r io.Reader, w io.Writer) error {
 		if m.V != protoVersion {
 			return fmt.Errorf("fleet: protocol version %d, worker speaks %d", m.V, protoVersion)
 		}
+		setBusy(true)
+		stop := startHeartbeat(send)
 		res := runUnit(ctx, m, cache, send)
+		stop()
 		res.Type, res.Seq = msgResult, m.Seq
-		if err := send(res); err != nil {
+		err = send(res)
+		setBusy(false)
+		if err != nil {
 			return err
 		}
+	}
+}
+
+// startHeartbeat pings the coordinator every heartbeatInterval until
+// the returned stop function is called. A failed ping just stops the
+// heartbeat — the unit's result frame (or the broken pipe it hits)
+// carries the session's fate.
+func startHeartbeat(send func(*wireMsg) error) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(heartbeatInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if send(&wireMsg{Type: msgPing}) != nil {
+					return
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
 	}
 }
 

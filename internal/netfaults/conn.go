@@ -1,0 +1,88 @@
+package netfaults
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Conn wraps c with write-side fault injection at frame granularity.
+// rpcx's record writer issues exactly one Write call per record, so a
+// Write call is the frame boundary: a dropped frame tears the
+// connection down before the bytes leave, a truncated frame delivers a
+// prefix and closes, a duplicated frame is written twice, a flipped
+// frame has one bit corrupted in flight. Reads pass through untouched
+// — wrap both endpoints (or use the Proxy) for per-direction faults.
+func (j *Injector) Conn(c net.Conn) net.Conn {
+	i := j.nextConn()
+	return &faultConn{Conn: c, s: j.newStream("write", i)}
+}
+
+type faultConn struct {
+	net.Conn
+	s *stream
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	switch c.s.decide() {
+	case actDelay:
+		time.Sleep(c.s.j.plan.DelayFor)
+	case actDrop:
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: connection dropped", ErrInjected)
+	case actTrunc:
+		if len(p) > 1 {
+			c.Conn.Write(p[:len(p)/2])
+		}
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: frame truncated", ErrInjected)
+	case actDup:
+		if n, err := c.Conn.Write(p); err != nil {
+			return n, err
+		}
+		return c.Conn.Write(p)
+	case actFlip:
+		q := make([]byte, len(p))
+		copy(q, p)
+		c.s.flipByte(q)
+		return c.Conn.Write(q)
+	}
+	return c.Conn.Write(p)
+}
+
+// Listener wraps ln with accept-then-reset injection and per-connection
+// write-side faults on the accepted conns. Reset decisions come from a
+// single "accept" stream consumed in accept order.
+func (j *Injector) Listener(ln net.Listener) net.Listener {
+	return &faultListener{Listener: ln, j: j, accept: j.newStream("accept", 0)}
+}
+
+type faultListener struct {
+	net.Listener
+	j      *Injector
+	accept *stream
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.accept.decideReset() {
+			l.j.nextConn() // count the doomed connection
+			reset(c)
+			continue
+		}
+		return l.j.Conn(c), nil
+	}
+}
+
+// reset closes c so the peer sees a hard RST rather than an orderly
+// FIN — the accept-then-reset shape of a daemon dying under load.
+func reset(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}

@@ -155,6 +155,18 @@ func RegisterJournal(reg *Registry, jw *core.JournalWriter) {
 		})
 }
 
+// RegisterPublishRetries exports the publish retry total. count is
+// called at scrape time and returns the process-global count of
+// publish attempts retried after a transport failure (see
+// store.PublishRetries); taking a closure keeps obs independent of the
+// store package.
+func RegisterPublishRetries(reg *Registry, count func() int64) {
+	reg.CounterFunc("lmbench_publish_retries_total",
+		"Publish attempts retried after a transport failure.", func() float64 {
+			return float64(count())
+		})
+}
+
 // RegisterFaults exports chaos-run fault totals. stats is called at
 // scrape time and returns the aggregate counts across every wrapped
 // machine; taking a closure keeps obs independent of the faults

@@ -1,0 +1,45 @@
+package rpcx
+
+import (
+	"net"
+	"time"
+)
+
+// WithDeadlines wraps c so every Read is preceded by
+// SetReadDeadline(now+read) and every Write by
+// SetWriteDeadline(now+write). The deadline is armed at the entry of
+// each call — an idle-timeout, not a wall-clock budget — so a peer
+// that keeps frames flowing never trips it, while a connect-then-
+// silent peer fails its next Read in `read` rather than holding a
+// daemon goroutine forever. A non-positive duration disables that
+// side. The wrapped conn preserves the Set*Deadline methods; calling
+// them directly is not meaningful once wrapped.
+func WithDeadlines(c net.Conn, read, write time.Duration) net.Conn {
+	if read <= 0 && write <= 0 {
+		return c
+	}
+	return &deadlineConn{Conn: c, read: read, write: write}
+}
+
+type deadlineConn struct {
+	net.Conn
+	read, write time.Duration
+}
+
+func (c *deadlineConn) Read(p []byte) (int, error) {
+	if c.read > 0 {
+		if err := c.Conn.SetReadDeadline(time.Now().Add(c.read)); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *deadlineConn) Write(p []byte) (int, error) {
+	if c.write > 0 {
+		if err := c.Conn.SetWriteDeadline(time.Now().Add(c.write)); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Write(p)
+}

@@ -159,14 +159,15 @@ func decodeReply(p []byte, wantXID uint32) ([]byte, error) {
 
 const lastFragment = 1 << 31
 
-// writeRecord sends one record-marked message.
+// writeRecord sends one record-marked message. Header and payload go
+// out in a single Write so a record is one syscall on an unbuffered
+// conn and — load-bearing for the netfaults wrappers — one Write call
+// is exactly one frame.
 func writeRecord(w io.Writer, p []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(p))|lastFragment)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(p)
+	buf := make([]byte, 4+len(p))
+	binary.BigEndian.PutUint32(buf, uint32(len(p))|lastFragment)
+	copy(buf[4:], p)
+	_, err := w.Write(buf)
 	return err
 }
 

@@ -1,0 +1,279 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// putTwo seeds a store with two distinct runs and returns it with
+// their manifests.
+func putTwo(t *testing.T) (*Store, Manifest, Manifest) {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := s.Put(testManifest("one"), testDB(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := s.Put(testManifest("two"), testDB(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, m1, m2
+}
+
+// reopen re-opens the store directory, as a daemon restart would.
+func reopen(t *testing.T, s *Store) *Store {
+	t.Helper()
+	r, err := Open(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// mustReadable asserts the run resolves and its database verifies.
+func mustReadable(t *testing.T, s *Store, m Manifest) {
+	t.Helper()
+	if _, _, err := s.DB(m.RunID); err != nil {
+		t.Fatalf("run %s unreadable: %v", m.RunID[:12], err)
+	}
+}
+
+// TestWriteThenReopenScrubClean is the durability regression for the
+// fsync'd atomic-write path: a freshly written store re-opens and
+// scrubs clean, with every run still verifying against its content
+// hash.
+func TestWriteThenReopenScrubClean(t *testing.T) {
+	s, m1, m2 := putTwo(t)
+	s = reopen(t, s)
+	rep, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.Runs != 2 || rep.Objects != 2 {
+		t.Fatalf("scrub of healthy store: %+v", rep)
+	}
+	mustReadable(t, s, m1)
+	mustReadable(t, s, m2)
+	if !strings.Contains(rep.String(), "store clean") {
+		t.Fatalf("report: %s", rep)
+	}
+}
+
+func TestScrubSweepsTornTempFiles(t *testing.T) {
+	s, m1, m2 := putTwo(t)
+	for _, p := range []string{
+		filepath.Join(s.Dir(), "objects", ".tmp-1234"),
+		filepath.Join(s.Dir(), "runs", ".tmp-torn"),
+	} {
+		if err := os.WriteFile(p, []byte("half a wri"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := reopen(t, s).Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partials != 2 || len(rep.CorruptObjects) != 0 || len(rep.CorruptManifests) != 0 {
+		t.Fatalf("scrub: %+v", rep)
+	}
+	mustReadable(t, s, m1)
+	mustReadable(t, s, m2)
+	if rep2, _ := s.Scrub(); !rep2.Clean() {
+		t.Fatalf("second scrub not clean: %+v", rep2)
+	}
+}
+
+func TestScrubQuarantinesBitFlippedObject(t *testing.T) {
+	s, m1, m2 := putTwo(t)
+	// Flip one byte of m2's object on disk.
+	path := s.objectPath(m2.ContentHash)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0x40
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s = reopen(t, s)
+	rep, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly the flipped object and the run that referenced it go to
+	// quarantine; the healthy run is untouched.
+	if len(rep.CorruptObjects) != 1 || rep.CorruptObjects[0] != m2.ContentHash {
+		t.Fatalf("corrupt objects: %v", rep.CorruptObjects)
+	}
+	if len(rep.CorruptManifests) != 1 || !strings.HasPrefix(rep.CorruptManifests[0], m2.RunID+".json") {
+		t.Fatalf("corrupt manifests: %v", rep.CorruptManifests)
+	}
+	if rep.Runs != 1 || rep.Objects != 1 {
+		t.Fatalf("healthy counts: %+v", rep)
+	}
+	mustReadable(t, s, m1)
+	if _, ok, _ := s.Get(m2.RunID); ok {
+		t.Fatal("corrupt run still resolvable")
+	}
+	// The evidence is preserved, not deleted.
+	if _, err := os.Stat(filepath.Join(s.Dir(), "quarantine", "object-"+m2.ContentHash)); err != nil {
+		t.Fatalf("quarantined object: %v", err)
+	}
+
+	// Idempotent re-publish restores exactly what was lost.
+	m2b, err := s.Put(testManifest("two"), testDB(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2b.RunID != m2.RunID || m2b.ContentHash != m2.ContentHash {
+		t.Fatalf("re-publish landed on %s/%s, want %s/%s", m2b.RunID[:12], m2b.ContentHash[:12], m2.RunID[:12], m2.ContentHash[:12])
+	}
+	mustReadable(t, s, m2b)
+	if rep2, _ := s.Scrub(); !rep2.Clean() {
+		t.Fatalf("post-repair scrub not clean: %+v", rep2)
+	}
+}
+
+func TestScrubQuarantinesTruncatedObject(t *testing.T) {
+	s, m1, m2 := putTwo(t)
+	if err := os.Truncate(s.objectPath(m1.ContentHash), 10); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := reopen(t, s).Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.CorruptObjects) != 1 || rep.CorruptObjects[0] != m1.ContentHash {
+		t.Fatalf("scrub: %+v", rep)
+	}
+	mustReadable(t, s, m2)
+}
+
+func TestScrubQuarantinesBadManifests(t *testing.T) {
+	s, m1, m2 := putTwo(t)
+	runDir := filepath.Join(s.Dir(), "runs")
+	// Unparseable JSON.
+	if err := os.WriteFile(filepath.Join(runDir, strings.Repeat("a", 64)+".json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Valid JSON filed under the wrong run ID.
+	b, err := os.ReadFile(s.manifestPath(m1.RunID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	misnamed := strings.Repeat("b", 64) + ".json"
+	if err := os.WriteFile(filepath.Join(runDir, misnamed), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A misnamed manifest breaks the whole run listing before the
+	// scrub...
+	if _, err := s.Runs(); err == nil {
+		t.Fatal("expected Runs to fail on a misnamed manifest")
+	}
+	rep, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.CorruptManifests) != 2 {
+		t.Fatalf("corrupt manifests: %v", rep.CorruptManifests)
+	}
+	// ...and the scrub makes it listable again.
+	runs, err := s.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("runs after scrub: %d", len(runs))
+	}
+	mustReadable(t, s, m1)
+	mustReadable(t, s, m2)
+}
+
+func TestScrubCollectsOrphanObjects(t *testing.T) {
+	s, m1, _ := putTwo(t)
+	// Delete one manifest, leaving its object unreferenced but valid.
+	if err := os.Remove(s.manifestPath(m1.RunID)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.OrphanObjects) != 1 || rep.OrphanObjects[0] != m1.ContentHash {
+		t.Fatalf("orphans: %v", rep.OrphanObjects)
+	}
+	if _, err := s.Object(m1.ContentHash); err == nil {
+		t.Fatal("orphan object survived collection")
+	}
+	// Re-publishing the lost run recreates the object bit-for-bit.
+	m1b, err := s.Put(testManifest("one"), testDB(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1b.RunID != m1.RunID {
+		t.Fatalf("re-publish landed on %s, want %s", m1b.RunID[:12], m1.RunID[:12])
+	}
+	mustReadable(t, s, m1b)
+}
+
+// FuzzScrub drops arbitrary debris into a live store directory and
+// asserts the invariants crash recovery depends on: open+scrub never
+// panics or errors, a second scrub is always clean, and the healthy
+// run survives readable unless the debris overwrote its own shards.
+func FuzzScrub(f *testing.F) {
+	f.Add([]byte("{torn json"), []byte{0x00, 0xff}, []byte("half a write"))
+	f.Add([]byte(`{"run_id":"deadbeef"}`), []byte(""), []byte{0x7f})
+	f.Add([]byte(`not json at all`), []byte("AAAA"), []byte("BBBB"))
+	f.Fuzz(func(t *testing.T, manifest, object, tmp []byte) {
+		dir := t.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := s.Put(testManifest("healthy"), testDB(t, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Debris: a manifest-shaped shard, an object-shaped shard
+		// (64-hex name that won't match its hash unless the fuzzer
+		// finds a SHA-256 preimage), and a torn temp file.
+		if err := os.WriteFile(filepath.Join(dir, "runs", strings.Repeat("c", 64)+".json"), manifest, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "objects", strings.Repeat("d", 64)), object, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "objects", ".tmp-fuzz"), tmp, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s = func() *Store {
+			r, err := Open(dir)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			return r
+		}()
+		rep, err := s.Scrub()
+		if err != nil {
+			t.Fatalf("scrub: %v", err)
+		}
+		if rep.Partials != 1 {
+			t.Fatalf("partials: %+v", rep)
+		}
+		mustReadable(t, s, m)
+		rep2, err := s.Scrub()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep2.Clean() {
+			t.Fatalf("second scrub not clean: %+v", rep2)
+		}
+	})
+}

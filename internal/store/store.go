@@ -48,6 +48,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -181,7 +182,12 @@ func (s *Store) manifestPath(runID string) string {
 }
 
 // writeAtomic lands data at path via a temp file + rename, so a crash
-// mid-write never leaves a torn shard for readers to trip over.
+// mid-write never leaves a torn shard for readers to trip over — and
+// durably: the temp file is fsynced before the rename (else the rename
+// can land while the data hasn't, and a power cut yields a
+// full-length file of zeros at the final name) and the parent
+// directory is fsynced after it (else the rename itself can vanish and
+// a committed object silently disappears).
 func writeAtomic(path string, data []byte) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
 	if err != nil {
@@ -193,11 +199,35 @@ func writeAtomic(path string, data []byte) error {
 		_ = os.Remove(name)
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(name)
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		_ = os.Remove(name)
 		return err
 	}
-	return os.Rename(name, path)
+	if err := os.Rename(name, path); err != nil {
+		_ = os.Remove(name)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power
+// loss. Filesystems that refuse to fsync directories are tolerated —
+// there the rename durability is the platform's best effort anyway.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
 }
 
 // Put stores db under m. The store fills ContentHash, Entries, RunID,

@@ -4,6 +4,7 @@ import (
 	"context"
 	"net"
 
+	"repro/internal/obs"
 	istore "repro/internal/store"
 )
 
@@ -32,17 +33,52 @@ type StoreServer = istore.Server
 // dir.
 func OpenStore(dir string) (*Store, error) { return istore.Open(dir) }
 
+// PublishOptions tunes PublishRunWith: retry count and backoff for
+// transport failures, idle deadlines, and test seams. The zero value
+// selects production defaults (4 retries, 100ms initial backoff
+// doubling to 30s, 30s idle timeout).
+type PublishOptions = istore.PublishOptions
+
+// IngestOptions tunes ServeStoreIngestWith: session deadlines, drain
+// budget, metrics registry, and test seams. The zero value selects
+// production defaults.
+type IngestOptions = istore.IngestOptions
+
+// ScrubReport is what Store.Scrub found and repaired; see
+// (*Store).Scrub.
+type ScrubReport = istore.ScrubReport
+
 // PublishRun streams a database to a results-store daemon at addr
 // (see ServeStoreIngest); the returned manifest carries the
 // daemon-assigned run identity. The store fills m's ContentHash,
-// Entries, RunID, Seq and Created.
+// Entries, RunID, Seq and Created. Transport failures are retried with
+// capped backoff — safe because runs are content-addressed, so a
+// half-landed publish is finished idempotently by the next attempt.
 func PublishRun(ctx context.Context, addr string, m Manifest, db *DB) (Manifest, error) {
 	return istore.Publish(ctx, addr, m, db)
 }
 
+// PublishRunWith is PublishRun with explicit retry/deadline options.
+func PublishRunWith(ctx context.Context, addr string, m Manifest, db *DB, o PublishOptions) (Manifest, error) {
+	return istore.PublishWith(ctx, addr, m, db, o)
+}
+
 // ServeStoreIngest accepts publish sessions on ln and ingests them
 // into s until ctx is cancelled — the daemon side of WithPublish and
-// PublishRun.
+// PublishRun. Cancellation drains gracefully: in-flight commits
+// finish (bounded by the drain budget) before it returns nil.
 func ServeStoreIngest(ctx context.Context, ln net.Listener, s *Store) error {
 	return istore.Serve(ctx, ln, s)
+}
+
+// ServeStoreIngestWith is ServeStoreIngest with explicit deadline,
+// drain and metrics options.
+func ServeStoreIngestWith(ctx context.Context, ln net.Listener, s *Store, o IngestOptions) error {
+	return istore.ServeIngest(ctx, ln, s, o)
+}
+
+// RegisterPublishRetries exports this process's publish retry total
+// into reg as lmbench_publish_retries_total.
+func RegisterPublishRetries(reg *Registry) {
+	obs.RegisterPublishRetries(reg, istore.PublishRetries)
 }
