@@ -4,7 +4,7 @@ GO ?= go
 #   make chaos LMBENCH_CHAOS_SEED=99
 LMBENCH_CHAOS_SEED ?= 1
 
-.PHONY: all build vet test race chaos chaos-net verify bench bench-smoke serve-smoke fleet-smoke store-smoke fuzz-smoke profile
+.PHONY: all build vet test race chaos chaos-net verify bench bench-smoke serve-smoke fleet-smoke store-smoke cache-smoke fuzz-smoke profile
 
 # Benchmarks recorded in BENCH_pr3.json: the Figure-1 sweep plus the
 # memory-heavy tables (the simulator hot paths), and the simmem
@@ -31,7 +31,7 @@ test:
 # HTTP-cache, drain and chaos-transport suites) under the race
 # detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/timing/... ./internal/faults/... ./internal/netfaults/... ./internal/obs/... ./internal/fleet/... ./internal/store/...
+	$(GO) test -race ./internal/core/... ./internal/timing/... ./internal/faults/... ./internal/netfaults/... ./internal/obs/... ./internal/fleet/... ./internal/store/... ./internal/unitcache/...
 
 # chaos runs the fault-injection scheduler suite on its own, race-
 # enabled and verbose, with a fixed seed for reproducible streams.
@@ -50,10 +50,22 @@ chaos-net:
 # text logs feed benchstat directly) and condenses them into
 # BENCH_pr3.json. Set BENCH_BASELINE to a saved bench_after.txt from a
 # baseline tree to include before/after speedups.
+#
+# The unit-cache evaluation benchmark then runs twice against one cache
+# directory — cold (the cache is wiped before every iteration) and warm
+# — and benchjson condenses the pair into BENCH_pr8.json, where
+# "speedup" is warm-over-cold.
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -count $(BENCH_COUNT) . | tee bench_after.txt
 	$(GO) test -run '^$$' -bench '$(BENCH_MICRO)' -benchmem -count $(BENCH_COUNT) ./internal/simmem/ | tee -a bench_after.txt
 	$(GO) run ./cmd/benchjson -after bench_after.txt $(if $(BENCH_BASELINE),-before $(BENCH_BASELINE)) -out BENCH_pr3.json
+	rm -rf bench_cache_dir
+	LMBENCH_UNIT_CACHE_DIR=$$PWD/bench_cache_dir LMBENCH_UNIT_CACHE_COLD=1 \
+		$(GO) test -run '^$$' -bench EvaluationUnitCache -count $(BENCH_COUNT) . | tee bench_cache_cold.txt
+	LMBENCH_UNIT_CACHE_DIR=$$PWD/bench_cache_dir \
+		$(GO) test -run '^$$' -bench EvaluationUnitCache -count $(BENCH_COUNT) . | tee bench_cache_warm.txt
+	$(GO) run ./cmd/benchjson -before bench_cache_cold.txt -after bench_cache_warm.txt -out BENCH_pr8.json
+	rm -rf bench_cache_dir
 
 # bench-smoke proves every recorded benchmark still runs (one
 # iteration each); part of verify so a refactor cannot silently break
@@ -84,6 +96,14 @@ fleet-smoke:
 store-smoke:
 	GO="$(GO)" ./scripts/store_smoke.sh
 
+# cache-smoke proves incremental evaluation through the CLI: a cold
+# run fills the unit cache, a warm run executes zero units yet emits a
+# byte-identical database, and widening the experiment set recomputes
+# only the new units; part of verify so the cache can never silently
+# serve stale or divergent results.
+cache-smoke:
+	GO="$(GO)" ./scripts/cache_smoke.sh
+
 # fuzz-smoke runs each results-codec and store corrupt-shard fuzz
 # target briefly over its seed corpus — a CI-sized slice of
 # `go test -fuzz`.
@@ -94,6 +114,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzObjectShard$$' -fuzztime 2s ./internal/store/
 	$(GO) test -run '^$$' -fuzz '^FuzzIngestStream$$' -fuzztime 2s ./internal/store/
 	$(GO) test -run '^$$' -fuzz '^FuzzScrub$$' -fuzztime 2s ./internal/store/
+	$(GO) test -run '^$$' -fuzz '^FuzzFragment$$' -fuzztime 2s ./internal/unitcache/
 
 # profile captures pprof CPU and heap profiles of a representative
 # simulated run; inspect with `go tool pprof cpu.pprof`.
@@ -103,11 +124,12 @@ profile:
 
 # verify is the tier-1 gate: everything must build, vet clean, pass
 # tests, the concurrent scheduler, wire-chaos injector, fleet
-# coordinator, observability layer and results store must be
-# race-clean, the bench harness must run, the -serve endpoints must
+# coordinator, observability layer, results store and unit cache must
+# be race-clean, the bench harness must run, the -serve endpoints must
 # answer during a live run, a worker fleet must produce
 # serial-identical bytes, the results service must
-# ingest/serve/revalidate end to end, the codecs and scrub must
-# survive a fuzz smoke, and the distributed layer must converge
-# through wire chaos and a mid-ingest kill.
-verify: build vet test race bench-smoke serve-smoke fleet-smoke store-smoke fuzz-smoke chaos-net
+# ingest/serve/revalidate end to end, a warm cached run must be
+# byte-identical while executing nothing, the codecs, scrub and cache
+# fragments must survive a fuzz smoke, and the distributed layer must
+# converge through wire chaos and a mid-ingest kill.
+verify: build vet test race bench-smoke serve-smoke fleet-smoke store-smoke cache-smoke fuzz-smoke chaos-net

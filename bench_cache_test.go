@@ -1,0 +1,64 @@
+package lmbench_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	lmbench "repro"
+)
+
+// BenchmarkEvaluationUnitCache measures one evaluation pass (five
+// testbed machines, the memory/syscall/process/context-switch tables)
+// through the unit cache rooted at $LMBENCH_UNIT_CACHE_DIR. `make
+// bench` runs it twice against one directory — cold with
+// $LMBENCH_UNIT_CACHE_COLD wiping the cache before every iteration,
+// then warm — and benchjson condenses the two logs into BENCH_pr8.json,
+// whose speedup is the headline number for incremental evaluation.
+func BenchmarkEvaluationUnitCache(b *testing.B) {
+	dir := os.Getenv("LMBENCH_UNIT_CACHE_DIR")
+	if dir == "" {
+		b.Skip("set LMBENCH_UNIT_CACHE_DIR (see the Makefile bench target)")
+	}
+	cold := os.Getenv("LMBENCH_UNIT_CACHE_COLD") != ""
+	names := []string{
+		"Linux/i686", "HP K210", "Sun Ultra1", "SGI Challenge", "Sun SC1000",
+	}
+	tables := []string{"table2", "table5", "table7", "table9", "table10"}
+
+	run := func(timed bool) {
+		opts := []lmbench.Option{
+			lmbench.WithOptions(goldenOpts()),
+			lmbench.WithUnitCache(dir),
+			lmbench.WithOnly(tables...),
+		}
+		for _, n := range names {
+			m, err := lmbench.NewSimMachine(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts = append(opts, lmbench.WithMachine(m))
+		}
+		rep, err := lmbench.New(opts...).Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if timed && !cold && rep.Cache.Misses != 0 {
+			b.Fatalf("warm iteration executed %d units", rep.Cache.Misses)
+		}
+	}
+
+	if !cold {
+		run(false) // ensure the cache is fully seeded before timing
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cold {
+			if err := os.RemoveAll(filepath.Join(dir, "units")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		run(true)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/paper"
 	istore "repro/internal/store"
+	"repro/internal/unitcache"
 )
 
 // Bench is a configured benchmark run, assembled by New from Options.
@@ -36,6 +37,10 @@ type Bench struct {
 	publishAddr    string
 	publishRetries int
 	runLabel       string
+	cacheDir       string
+	cacheReadOnly  bool
+	cacheMaxBytes  int64
+	cacheObs       CacheObserver
 }
 
 // Option configures a Bench; see the With* constructors.
@@ -177,6 +182,38 @@ func WithPublishRetries(n int) Option {
 	return func(b *Bench) { b.publishRetries = n }
 }
 
+// WithUnitCache enables incremental evaluation through the unit cache
+// rooted at dir (created if needed): every completed work unit's
+// result fragment is persisted under a key derived from the machine
+// profile, experiment group, options fingerprint and code version, and
+// later runs with the same key reuse the fragment instead of
+// re-executing — the database comes out byte-identical either way.
+// Journal resume takes precedence over the cache for units present in
+// the journal.
+func WithUnitCache(dir string) Option {
+	return func(b *Bench) { b.cacheDir = dir }
+}
+
+// WithUnitCacheReadOnly makes the cache lookup-only: hits are served
+// but misses are not stored and nothing on disk is touched. Useful for
+// shared or CI-seeded caches.
+func WithUnitCacheReadOnly() Option {
+	return func(b *Bench) { b.cacheReadOnly = true }
+}
+
+// WithUnitCacheLimit caps the cache directory at maxBytes; after each
+// store the least-recently-used fragments are evicted until the cache
+// fits (0 = unlimited).
+func WithUnitCacheLimit(maxBytes int64) Option {
+	return func(b *Bench) { b.cacheMaxBytes = maxBytes }
+}
+
+// WithUnitCacheObserver attaches an observer to the unit cache
+// (obs.CacheMetrics satisfies it); nil is ignored.
+func WithUnitCacheObserver(o CacheObserver) Option {
+	return func(b *Bench) { b.cacheObs = o }
+}
+
 // WithRunLabel tags the run with a human-readable label
 // ("nightly-2026-08-08"). Labels are descriptive, not part of the run
 // key, and stored runs can be queried by them.
@@ -194,6 +231,10 @@ type Report struct {
 	// under: the hash of (machines, options fingerprint, code version,
 	// content hash of DB). Two identical deterministic runs share it.
 	RunID string
+	// Cache holds the unit-cache traffic counters when WithUnitCache
+	// was configured; nil otherwise. A fully-warm run shows
+	// Misses == 0.
+	Cache *CacheStats
 
 	manifest istore.Manifest
 }
@@ -242,6 +283,19 @@ func (b *Bench) Run(ctx context.Context) (*Report, error) {
 		events = b.sinks
 	}
 
+	var cache *unitcache.Cache
+	if b.cacheDir != "" {
+		cache, err = unitcache.Open(b.cacheDir, b.opts, unitcache.Config{
+			ReadOnly: b.cacheReadOnly,
+			MaxBytes: b.cacheMaxBytes,
+			MaxRSD:   b.maxRSD, QualityRetries: b.qualityRetries,
+			Obs: b.cacheObs,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	var skipped map[string][]string
 	if b.fleetWorkers > 0 || len(b.fleetConnect) > 0 {
 		names, err := fleet.MachineNames(b.machines)
@@ -260,6 +314,11 @@ func (b *Bench) Run(ctx context.Context) (*Report, error) {
 			MaxRSD: b.maxRSD, QualityRetries: b.qualityRetries,
 			Journal: journal, Resume: replay,
 		}
+		if cache != nil {
+			// Guarded assignment: a nil *unitcache.Cache in the
+			// interface field would be non-nil to == checks.
+			coord.Cache = cache
+		}
 		skipped, err = coord.Run(ctx, db)
 		if err != nil {
 			return nil, err
@@ -276,12 +335,19 @@ func (b *Bench) Run(ctx context.Context) (*Report, error) {
 			MaxRSD: b.maxRSD, QualityRetries: b.qualityRetries,
 			Journal: journal, Resume: replay,
 		}
+		if cache != nil {
+			runner.Cache = cache
+		}
 		skipped, err = runner.Run(ctx, db)
 		if err != nil {
 			return nil, err
 		}
 	}
 	rep := &Report{DB: db, Skipped: skipped}
+	if cache != nil {
+		st := cache.Stats()
+		rep.Cache = &st
+	}
 	if err := rep.fillManifest(b); err != nil {
 		return nil, err
 	}

@@ -18,6 +18,10 @@
 //	lmbench -journal run.jnl         # crash-safe journal of completed work
 //	lmbench -resume run.jnl          # replay a journal, run the remainder
 //	lmbench -chaos 'err=0.3,seed=1'  # inject faults (testing the harness)
+//	lmbench -unit-cache cache/       # reuse cached unit results (warm runs
+//	                                 # skip execution, byte-identical output)
+//	lmbench -unit-cache-readonly     # serve cache hits, never write
+//	lmbench -unit-cache-max-bytes N  # LRU-evict the cache down to N bytes
 //	lmbench -max-rsd 0.05            # re-measure experiments noisier than 5%
 //	lmbench -fleet-workers 4         # run across 4 worker processes
 //	lmbench -fleet-listen :7777      # serve as a remote worker daemon
@@ -109,6 +113,10 @@ func run() error {
 		storeHTTPFlag   = flag.String("store-http", "", "with -store-listen, also serve the store query API on this address")
 		storeScrubFlag  = flag.Bool("store-scrub", false, "verify the store at -store-dir (re-hash objects, quarantine corruption, sweep partial writes), report, exit")
 		pubRetriesFlag  = flag.Int("publish-retries", 0, "retries for a failed -publish, with doubling backoff (0 = default of 4, negative disables)")
+
+		cacheFlag    = flag.String("unit-cache", "", "reuse completed work units from this cache directory; misses are stored for the next run")
+		cacheROFlag  = flag.Bool("unit-cache-readonly", false, "with -unit-cache, serve hits but never write to the cache")
+		cacheMaxFlag = flag.Int64("unit-cache-max-bytes", 0, "with -unit-cache, evict least-recently-used fragments beyond this size (0 = unlimited)")
 
 		chaosNetFlag    = flag.String("chaos-net", "", "run as a deterministic lossy proxy with this fault plan, e.g. 'seed=1,drop=0.1,trunc=0.05' (see internal/netfaults)")
 		chaosListenFlag = flag.String("chaos-listen", "127.0.0.1:0", "listen address for -chaos-net")
@@ -230,6 +238,9 @@ func run() error {
 	if *chaosFlag != "" && fleetMode {
 		return fmt.Errorf("-chaos does not compose with fleet execution: fault wrappers cannot cross a process boundary")
 	}
+	if *chaosFlag != "" && *cacheFlag != "" {
+		return fmt.Errorf("-chaos does not compose with -unit-cache: fault-perturbed results must never seed the cache")
+	}
 	if *chaosFlag != "" {
 		plan, err := faults.ParsePlan(*chaosFlag)
 		if err != nil {
@@ -323,6 +334,7 @@ func run() error {
 	}
 
 	var fleetObs *lmbench.FleetMetrics
+	var cacheObs lmbench.CacheObserver
 	if *serveFlag != "" {
 		registry := lmbench.NewRegistry()
 		progress := lmbench.NewProgress()
@@ -339,6 +351,9 @@ func run() error {
 		}
 		if fleetMode {
 			fleetObs = lmbench.NewFleetMetrics(registry)
+		}
+		if *cacheFlag != "" {
+			cacheObs = lmbench.NewCacheMetrics(registry)
 		}
 		if len(chaotic) > 0 {
 			injected := chaotic
@@ -369,6 +384,19 @@ func run() error {
 		sink = sinks
 	}
 
+	var cache *lmbench.UnitCache
+	if *cacheFlag != "" {
+		cache, err = lmbench.OpenUnitCache(*cacheFlag, opts, lmbench.UnitCacheConfig{
+			ReadOnly: *cacheROFlag,
+			MaxBytes: *cacheMaxFlag,
+			MaxRSD:   *rsdFlag, QualityRetries: *qretryFlag,
+			Obs: cacheObs,
+		})
+		if err != nil {
+			return fmt.Errorf("-unit-cache: %w", err)
+		}
+	}
+
 	var skipped map[string][]string
 	if fleetMode {
 		names, err := fleet.MachineNames(targets)
@@ -393,6 +421,9 @@ func run() error {
 		if fleetObs != nil {
 			coord.Obs = fleetObs
 		}
+		if cache != nil {
+			coord.Cache = cache
+		}
 		skipped, err = coord.Run(ctx, db)
 		if err != nil {
 			return err
@@ -412,6 +443,9 @@ func run() error {
 			Journal:        journal,
 			Resume:         replay,
 		}
+		if cache != nil {
+			runner.Cache = cache
+		}
 		skipped, err = runner.Run(ctx, db)
 		if err != nil {
 			return err
@@ -421,6 +455,9 @@ func run() error {
 		for _, f := range chaotic {
 			fmt.Fprintf(os.Stderr, "%s: chaos: %s\n", f.Name(), f.Stats())
 		}
+	}
+	if cache != nil && !*quietFlag {
+		fmt.Fprintf(os.Stderr, "unit-cache: %s\n", cache.Stats())
 	}
 	if !*quietFlag {
 		for _, m := range targets {

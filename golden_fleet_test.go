@@ -27,8 +27,9 @@ func TestMain(m *testing.M) {
 }
 
 // The facade's fleet metrics must satisfy the coordinator's observer
-// contract.
+// contract, and its cache metrics the unit cache's.
 var _ fleet.Observer = (*lmbench.FleetMetrics)(nil)
+var _ lmbench.CacheObserver = (*lmbench.CacheMetrics)(nil)
 
 func goldenHash(t *testing.T, db *results.DB) string {
 	t.Helper()

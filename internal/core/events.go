@@ -46,6 +46,10 @@ const (
 	// restored from a run journal instead of being re-executed
 	// (`lmbench -resume`). Entries counts the restored entries.
 	ExperimentReplayed EventKind = "experiment_replayed"
+	// ExperimentCached reports an experiment whose result was restored
+	// from the content-addressed unit cache (`lmbench -unit-cache`)
+	// instead of being executed. Entries counts the restored entries.
+	ExperimentCached EventKind = "experiment_cached"
 )
 
 // Event is one structured record in the run's event stream.
@@ -171,6 +175,8 @@ func (t *TextSink) Event(e Event) {
 			prefix, e.Experiment, e.Spread*100, e.Samples)
 	case ExperimentReplayed:
 		fmt.Fprintf(t.w, "%sresumed  %-8s %s\n", prefix, e.Experiment, e.Title)
+	case ExperimentCached:
+		fmt.Fprintf(t.w, "%scached   %-8s %s\n", prefix, e.Experiment, e.Title)
 	case ExperimentFailed:
 		fmt.Fprintf(t.w, "%sfailed  %-8s after %d attempt(s): %s\n",
 			prefix, e.Experiment, e.Attempt, e.Err)

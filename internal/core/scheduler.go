@@ -38,10 +38,11 @@ type Runner struct {
 	// are).
 	Events EventSink
 	// Only, Extended, Experiments, Timeout, Retries, RetryBackoff,
-	// MaxRSD, QualityRetries, Journal and Resume are forwarded to each
-	// machine's Suite; see Suite. The journal writer is concurrency-
-	// safe, so parallel machines interleave records freely; replay is
-	// keyed by (machine, experiment) and immune to that interleaving.
+	// MaxRSD, QualityRetries, Journal, Resume and Cache are forwarded
+	// to each machine's Suite; see Suite. The journal writer and the
+	// unit cache are concurrency-safe, so parallel machines interleave
+	// records freely; replay and cache lookup are keyed by (machine,
+	// group) and immune to that interleaving.
 	Only           map[string]bool
 	Extended       bool
 	Experiments    []Experiment
@@ -52,6 +53,7 @@ type Runner struct {
 	QualityRetries int
 	Journal        *JournalWriter
 	Resume         *JournalReplay
+	Cache          UnitCache
 }
 
 // machineRun is one worker's outcome.
@@ -150,7 +152,7 @@ func (r *Runner) runMachine(ctx context.Context, sink EventSink, m Machine) mach
 		Only: r.Only, Extended: r.Extended, Experiments: r.Experiments,
 		Timeout: r.Timeout, Retries: r.Retries, RetryBackoff: r.RetryBackoff,
 		MaxRSD: r.MaxRSD, QualityRetries: r.QualityRetries,
-		Journal: r.Journal, Resume: r.Resume,
+		Journal: r.Journal, Resume: r.Resume, Cache: r.Cache,
 	}
 	sub := &results.DB{}
 	skipped, err := s.Run(ctx, sub)

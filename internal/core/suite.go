@@ -197,6 +197,13 @@ type Suite struct {
 	// order as live execution, so a resumed database encodes
 	// byte-identically to an uninterrupted run.
 	Resume *JournalReplay
+	// Cache, when non-nil, is the content-addressed unit cache: each
+	// experiment group is looked up before execution (a hit restores
+	// its entries without running anything, exactly like a journal
+	// replay) and stored after it completes. Resume wins over Cache
+	// when both would serve a unit — the journal is this run's own
+	// ground truth. See internal/unitcache.
+	Cache UnitCache
 }
 
 // Run executes the selected experiments and merges their entries into
@@ -243,13 +250,43 @@ func (s *Suite) Run(ctx context.Context, db *results.DB) (skipped []string, err 
 				continue
 			}
 		}
+		if s.Cache != nil {
+			if rec, ok := s.Cache.Lookup(s.M.Name(), key); ok {
+				sink.Event(Event{
+					Kind: ExperimentCached, Time: time.Now(), Machine: s.M.Name(),
+					Experiment: exp.ID, Title: exp.Title, Entries: len(rec.Entries),
+				})
+				// Journal the hit too: an interrupted cached run resumes
+				// without consulting the cache for units already landed.
+				if rec.Skipped {
+					skipped = append(skipped, exp.ID)
+					if err := s.journal(rec); err != nil {
+						return skipped, fmt.Errorf("%s: %w", exp.ID, err)
+					}
+					continue
+				}
+				for _, e := range rec.Entries {
+					if err := db.Add(e); err != nil {
+						return skipped, fmt.Errorf("%s: cached %q: %w", exp.ID, e.Benchmark, err)
+					}
+				}
+				if err := s.journal(rec); err != nil {
+					return skipped, fmt.Errorf("%s: %w", exp.ID, err)
+				}
+				continue
+			}
+		}
 		entries, runErr := s.runExperiment(ctx, sink, exp, opts)
 		if runErr != nil {
 			if IsUnsupported(runErr) {
 				skipped = append(skipped, exp.ID)
-				if err := s.journal(JournalRecord{
+				rec := JournalRecord{
 					Machine: s.M.Name(), Key: key, Skipped: true, Err: runErr.Error(),
-				}); err != nil {
+				}
+				if err := s.journal(rec); err != nil {
+					return skipped, fmt.Errorf("%s: %w", exp.ID, err)
+				}
+				if err := s.cacheStore(rec); err != nil {
 					return skipped, fmt.Errorf("%s: %w", exp.ID, err)
 				}
 				continue
@@ -263,13 +300,23 @@ func (s *Suite) Run(ctx context.Context, db *results.DB) (skipped []string, err 
 				return skipped, fmt.Errorf("%s: add %q: %w", exp.ID, e.Benchmark, err)
 			}
 		}
-		if err := s.journal(JournalRecord{
-			Machine: s.M.Name(), Key: key, Entries: entries,
-		}); err != nil {
+		rec := JournalRecord{Machine: s.M.Name(), Key: key, Entries: entries}
+		if err := s.journal(rec); err != nil {
+			return skipped, fmt.Errorf("%s: %w", exp.ID, err)
+		}
+		if err := s.cacheStore(rec); err != nil {
 			return skipped, fmt.Errorf("%s: %w", exp.ID, err)
 		}
 	}
 	return skipped, nil
+}
+
+// cacheStore persists rec in the unit cache when caching is enabled.
+func (s *Suite) cacheStore(rec JournalRecord) error {
+	if s.Cache == nil {
+		return nil
+	}
+	return s.Cache.Store(rec)
 }
 
 // journal appends rec when journaling is enabled.

@@ -68,6 +68,24 @@ type WorkUnit struct {
 	IDs []string
 }
 
+// UnitCache is the suite's and the fleet coordinator's hook into the
+// content-addressed unit cache (internal/unitcache). Lookup returns
+// the recorded outcome of one (machine, group-key) work unit from a
+// previous run with identical inputs, or ok=false when the unit must
+// execute; Store persists a freshly computed outcome for future runs.
+// The record is exactly what the journal holds for the unit — entries,
+// or a skip marker — so a cache hit merges at the same point in
+// iteration order as live execution and the database stays
+// byte-identical. Implementations must be safe for concurrent use
+// (parallel machine workers and fleet drive loops share one cache) and
+// must never return a record they cannot vouch for: corruption is a
+// miss, not an error. The interface lives here so core does not import
+// the cache implementation.
+type UnitCache interface {
+	Lookup(machine, key string) (JournalRecord, bool)
+	Store(rec JournalRecord) error
+}
+
 // UnitsFor enumerates the work units of running the given experiment
 // groups on the named machines, in merge order.
 func UnitsFor(machines []string, groups []ExperimentGroup) []WorkUnit {

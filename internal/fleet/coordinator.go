@@ -28,7 +28,8 @@ type Observer interface {
 	// UnitDispatched reports how long a unit waited in the queue
 	// before being sent to a worker.
 	UnitDispatched(wait time.Duration)
-	// UnitDone reports one unit completing (run, skipped or replayed).
+	// UnitDone reports one unit completing (run, skipped, replayed or
+	// served from the unit cache).
 	UnitDone()
 	// UnitRetried reports one unit being re-queued after its worker
 	// died mid-flight.
@@ -107,6 +108,14 @@ type Coordinator struct {
 	// of re-executing completed units.
 	Journal *core.JournalWriter
 	Resume  *core.JournalReplay
+	// Cache, when non-nil, is the content-addressed unit cache: every
+	// unit not already served by Resume is looked up before dispatch,
+	// and hits restore their fragments without touching a worker — a
+	// fully-warm run starts zero workers. Fresh results are stored as
+	// their units complete. Hits merge at the unit's position in merge
+	// order, so cold and warm runs are byte-identical. See
+	// internal/unitcache.
+	Cache core.UnitCache
 	// PeerTimeout is the idle read deadline on remote worker
 	// connections: a daemon silent for this long — workers heartbeat
 	// every 5s while executing — is declared dead and its unit
@@ -256,6 +265,55 @@ func (c *Coordinator) Run(ctx context.Context, db *results.DB) (map[string][]str
 				Kind: core.ExperimentReplayed, Time: time.Now(), Machine: u.Machine,
 				Experiment: g.Exp.ID, Title: g.Exp.Title, Entries: len(rec.Entries),
 			})
+			res := unitResult{done: true}
+			if rec.Skipped {
+				res.skipped = []string{g.Exp.ID}
+			} else {
+				res.entries = rec.Entries
+			}
+			r.mu.Lock()
+			r.res[i] = res
+			r.mu.Unlock()
+			r.obs.UnitDone()
+			r.finishUnit(u, "")
+		}
+	}
+
+	// Consult the unit cache for everything the journal did not cover,
+	// still before any dispatch. A hit is journaled like a completed
+	// unit (so an interrupted warm run resumes without re-reading the
+	// cache) and lands at its slot in merge order. Errors journaling or
+	// persisting here abort the run exactly as they would in
+	// complete(); no workers exist yet, so failing the unit and
+	// cancelling is enough.
+	if c.Cache != nil {
+		for i, u := range units {
+			r.mu.Lock()
+			done := r.res[i].done
+			r.mu.Unlock()
+			if done {
+				continue
+			}
+			rec, ok := c.Cache.Lookup(u.Machine, u.Key)
+			if !ok {
+				continue
+			}
+			g := byKey[u.Key]
+			r.beginMachine(u.Machine)
+			r.sink.Event(core.Event{
+				Kind: core.ExperimentCached, Time: time.Now(), Machine: u.Machine,
+				Experiment: g.Exp.ID, Title: g.Exp.Title, Entries: len(rec.Entries),
+			})
+			if c.Journal != nil {
+				if err := c.Journal.Record(rec); err != nil {
+					r.mu.Lock()
+					r.res[i] = unitResult{done: true, err: err}
+					r.mu.Unlock()
+					r.finishUnit(u, err.Error())
+					cancel()
+					break
+				}
+			}
 			res := unitResult{done: true}
 			if rec.Skipped {
 				res.skipped = []string{g.Exp.ID}
@@ -529,16 +587,26 @@ func (r *run) complete(i int, m *wireMsg, skipErr string) error {
 	}
 	// Journal before marking done, so a completed-but-unjournaled unit
 	// is impossible: a coordinator killed in between simply re-runs it.
-	if r.c.Journal != nil {
+	// The unit cache persists at the same point: a stored-but-unmarked
+	// unit is merely a warm entry for the re-run.
+	if r.c.Journal != nil || r.c.Cache != nil {
 		rec := core.JournalRecord{Machine: u.Machine, Key: u.Key}
 		if len(m.Skipped) > 0 {
 			rec.Skipped, rec.Err = true, skipErr
 		} else {
 			rec.Entries = m.Entries
 		}
-		if err := r.c.Journal.Record(rec); err != nil {
-			r.fail(i, err)
-			return nil
+		if r.c.Journal != nil {
+			if err := r.c.Journal.Record(rec); err != nil {
+				r.fail(i, err)
+				return nil
+			}
+		}
+		if r.c.Cache != nil {
+			if err := r.c.Cache.Store(rec); err != nil {
+				r.fail(i, err)
+				return nil
+			}
 		}
 	}
 	r.mu.Lock()

@@ -1,6 +1,7 @@
 package machines
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -485,4 +486,19 @@ func All() []Profile {
 	out := make([]Profile, len(catalog))
 	copy(out, catalog)
 	return out
+}
+
+// Fingerprint canonicalizes the profile into a deterministic string
+// for content-addressed keying (the unit cache hashes it into each
+// work-unit key). Profile contains no maps, so encoding/json emits
+// fields in fixed declaration order; Name is part of the struct, so
+// two profiles with identical geometry but different names fingerprint
+// differently — renaming a catalog entry invalidates its cached units
+// rather than aliasing them.
+func (p Profile) Fingerprint() (string, error) {
+	b, err := json.Marshal(p)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
 }

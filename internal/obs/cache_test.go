@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCacheMetrics(t *testing.T) {
+	reg := NewRegistry()
+	cm := NewCacheMetrics(reg)
+
+	cm.CacheMiss()
+	cm.CacheMiss()
+	cm.CacheStored(1024)
+	cm.CacheStored(512)
+	cm.CacheHit()
+	cm.CacheEvicted(3, 900)
+
+	if got := cm.hits.Value(); got != 1 {
+		t.Errorf("hits = %d, want 1", got)
+	}
+	if got := cm.misses.Value(); got != 2 {
+		t.Errorf("misses = %d, want 2", got)
+	}
+	if got := cm.bytes.Value(); got != 1536 {
+		t.Errorf("bytes = %d, want 1536", got)
+	}
+	if got := cm.evictions.Value(); got != 3 {
+		t.Errorf("evictions = %d, want 3", got)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{
+		metricCacheHits, metricCacheMisses,
+		metricCacheEvictions, metricCacheBytes,
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+}

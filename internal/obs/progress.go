@@ -25,6 +25,7 @@ type machineProgress struct {
 	skipped  int
 	failed   int
 	replayed int
+	cached   int
 	retries  int
 	quality  int
 	finished bool
@@ -89,6 +90,8 @@ func (p *Progress) Event(e core.Event) {
 		m.failed++
 	case core.ExperimentReplayed:
 		m.replayed++
+	case core.ExperimentCached:
+		m.cached++
 	}
 }
 
@@ -106,6 +109,7 @@ type MachineSnapshot struct {
 	Skipped        int                 `json:"skipped,omitempty"`
 	Failed         int                 `json:"failed,omitempty"`
 	Replayed       int                 `json:"replayed,omitempty"`
+	Cached         int                 `json:"cached,omitempty"`
 	Retries        int                 `json:"retries,omitempty"`
 	QualityRejects int                 `json:"quality_rejects,omitempty"`
 	Finished       bool                `json:"finished,omitempty"`
@@ -139,7 +143,8 @@ func (p *Progress) Snapshot() Snapshot {
 		ms := MachineSnapshot{
 			Machine: name, Planned: m.planned,
 			Done: m.done, Skipped: m.skipped, Failed: m.failed,
-			Replayed: m.replayed, Retries: m.retries, QualityRejects: m.quality,
+			Replayed: m.replayed, Cached: m.cached,
+			Retries: m.retries, QualityRejects: m.quality,
 			Finished: m.finished,
 		}
 		for exp, since := range m.running {
@@ -153,7 +158,7 @@ func (p *Progress) Snapshot() Snapshot {
 		if m.timed > 0 {
 			ms.AvgExperimentSeconds = (m.totalDur / time.Duration(m.timed)).Seconds()
 		}
-		completed := m.done + m.skipped + m.failed + m.replayed
+		completed := m.done + m.skipped + m.failed + m.replayed + m.cached
 		if m.planned > 0 && ms.AvgExperimentSeconds > 0 && !m.finished {
 			if rem := m.planned - completed; rem > 0 {
 				ms.ETASeconds = float64(rem) * ms.AvgExperimentSeconds

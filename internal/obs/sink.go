@@ -16,6 +16,7 @@ const (
 	metricSkipped   = "lmbench_experiments_skipped_total"
 	metricFailed    = "lmbench_experiments_failed_total"
 	metricReplayed  = "lmbench_experiments_replayed_total"
+	metricCached    = "lmbench_experiments_cached_total"
 	metricQuality   = "lmbench_quality_rejects_total"
 	metricEntries   = "lmbench_result_entries_total"
 	metricRunning   = "lmbench_experiments_running"
@@ -39,6 +40,7 @@ type MetricsSink struct {
 
 	started, finished, retried *CounterVec
 	skipped, failed, replayed  *CounterVec
+	cached                     *CounterVec
 	quality, entries           *CounterVec
 	running                    *GaugeVec
 	duration                   *HistogramVec
@@ -59,6 +61,7 @@ func NewMetricsSink(reg *Registry) *MetricsSink {
 		skipped:  reg.CounterVec(metricSkipped, "Experiments skipped as unsupported.", "machine"),
 		failed:   reg.CounterVec(metricFailed, "Experiments failed for good.", "machine"),
 		replayed: reg.CounterVec(metricReplayed, "Experiments replayed from a resume journal.", "machine"),
+		cached:   reg.CounterVec(metricCached, "Experiments restored from the unit cache.", "machine"),
 		quality:  reg.CounterVec(metricQuality, "Measurements rejected by the quality gate and re-measured.", "machine"),
 		entries:  reg.CounterVec(metricEntries, "Result-database entries produced.", "machine"),
 		running:  reg.GaugeVec(metricRunning, "Experiment attempts currently in flight.", "machine"),
@@ -103,6 +106,9 @@ func (s *MetricsSink) Event(e core.Event) {
 		s.duration.With(e.Machine).Observe(e.Duration.Seconds())
 	case core.ExperimentReplayed:
 		s.replayed.With(e.Machine).Inc()
+		s.entries.With(e.Machine).Add(int64(e.Entries))
+	case core.ExperimentCached:
+		s.cached.With(e.Machine).Inc()
 		s.entries.With(e.Machine).Add(int64(e.Entries))
 	}
 }

@@ -33,8 +33,9 @@ type Span struct {
 	// this is harness-clock time — virtual on simulated machines.
 	DurNS int64 `json:"dur_ns"`
 	// Outcome is the terminal event kind for attempt spans (finished,
-	// retried, quality, skipped, failed) and "timed"/"calibration" for
-	// sample spans.
+	// retried, quality, skipped, failed, cached) and
+	// "timed"/"calibration" for sample spans. "cached" spans have zero
+	// duration — the unit cache restored the result without running it.
 	Outcome string `json:"outcome,omitempty"`
 	// N is the batch iteration count on sample spans.
 	N int64 `json:"n,omitempty"`
@@ -118,7 +119,7 @@ func (t *TraceSink) Event(e core.Event) {
 			Err:     e.Err,
 		})
 	case core.ExperimentFinished, core.ExperimentRetried, core.ExperimentQuality,
-		core.ExperimentSkipped, core.ExperimentFailed:
+		core.ExperimentSkipped, core.ExperimentFailed, core.ExperimentCached:
 		name := attemptName(e.Attempt)
 		t.emit(Span{
 			Name: name, Kind: "attempt",
@@ -211,6 +212,8 @@ func outcome(k core.EventKind) string {
 		return "skipped"
 	case core.ExperimentFailed:
 		return "failed"
+	case core.ExperimentCached:
+		return "cached"
 	}
 	return string(k)
 }

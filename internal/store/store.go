@@ -181,14 +181,15 @@ func (s *Store) manifestPath(runID string) string {
 	return filepath.Join(s.dir, "runs", runID+".json")
 }
 
-// writeAtomic lands data at path via a temp file + rename, so a crash
-// mid-write never leaves a torn shard for readers to trip over — and
-// durably: the temp file is fsynced before the rename (else the rename
-// can land while the data hasn't, and a power cut yields a
+// WriteFileAtomic lands data at path via a temp file + rename, so a
+// crash mid-write never leaves a torn shard for readers to trip over —
+// and durably: the temp file is fsynced before the rename (else the
+// rename can land while the data hasn't, and a power cut yields a
 // full-length file of zeros at the final name) and the parent
 // directory is fsynced after it (else the rename itself can vanish and
-// a committed object silently disappears).
-func writeAtomic(path string, data []byte) error {
+// a committed object silently disappears). Exported for the unit cache,
+// whose fragments need the same crash discipline as store objects.
+func WriteFileAtomic(path string, data []byte) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
 	if err != nil {
 		return err
@@ -260,7 +261,7 @@ func (s *Store) Put(m Manifest, db *results.DB) (Manifest, error) {
 	}
 
 	if _, err := os.Stat(s.objectPath(hash)); errors.Is(err, os.ErrNotExist) {
-		if err := writeAtomic(s.objectPath(hash), enc); err != nil {
+		if err := WriteFileAtomic(s.objectPath(hash), enc); err != nil {
 			return Manifest{}, err
 		}
 	} else if err != nil {
@@ -279,7 +280,7 @@ func (s *Store) Put(m Manifest, db *results.DB) (Manifest, error) {
 	if err != nil {
 		return Manifest{}, err
 	}
-	if err := writeAtomic(s.manifestPath(m.RunID), append(mb, '\n')); err != nil {
+	if err := WriteFileAtomic(s.manifestPath(m.RunID), append(mb, '\n')); err != nil {
 		return Manifest{}, err
 	}
 	return m, nil

@@ -279,7 +279,7 @@ func TestCorruptObjectDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 	corrupted := strings.Replace(string(obj), "lat_syscall", "lat_hijack!", 1)
-	if err := writeAtomic(s.objectPath(m.ContentHash), []byte(corrupted)); err != nil {
+	if err := WriteFileAtomic(s.objectPath(m.ContentHash), []byte(corrupted)); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := s.DB(m.RunID); err == nil || !strings.Contains(err.Error(), "corrupt") {

@@ -25,6 +25,10 @@ type MetricsSink = obs.MetricsSink
 // Observer.
 type FleetMetrics = obs.FleetMetrics
 
+// CacheMetrics aggregates unit-cache traffic into lmbench_unit_cache_*
+// metric families; it satisfies CacheObserver.
+type CacheMetrics = obs.CacheMetrics
+
 // Progress tracks per-machine completion and ETA for the live
 // /progress endpoint.
 type Progress = obs.Progress
@@ -46,6 +50,11 @@ func NewMetricsSink(reg *Registry) *MetricsSink { return obs.NewMetricsSink(reg)
 // NewFleetMetrics registers the fleet metric families in reg and
 // returns the coordinator observer feeding them.
 func NewFleetMetrics(reg *Registry) *FleetMetrics { return obs.NewFleetMetrics(reg) }
+
+// NewCacheMetrics registers the unit-cache metric families in reg and
+// returns the cache observer feeding them; pass it to
+// WithUnitCacheObserver.
+func NewCacheMetrics(reg *Registry) *CacheMetrics { return obs.NewCacheMetrics(reg) }
 
 // NewProgress returns a progress tracker; feed it events via WithSink
 // and serve it with Server.

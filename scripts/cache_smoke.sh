@@ -1,0 +1,93 @@
+#!/bin/sh
+# cache_smoke.sh proves incremental evaluation end to end through the
+# CLI: a cold run fills the unit cache, a warm run executes zero units
+# yet produces a byte-identical database, and widening the experiment
+# set recomputes only the newly selected units. Driven by
+# `make cache-smoke`.
+set -eu
+
+GO=${GO:-go}
+bin=$(mktemp -t lmbench-cache.XXXXXX)
+dir=$(mktemp -d -t lmbench-cache-dir.XXXXXX)
+cold=$(mktemp -t lmbench-cache-cold.XXXXXX)
+warm=$(mktemp -t lmbench-cache-warm.XXXXXX)
+fresh=$(mktemp -t lmbench-cache-fresh.XXXXXX)
+log=$(mktemp -t lmbench-cache-log.XXXXXX)
+cleanup() {
+    rm -rf "$bin" "$dir" "$cold" "$warm" "$fresh" "$log"
+}
+trap cleanup EXIT INT TERM
+
+$GO build -o "$bin" ./cmd/lmbench
+
+# stats FIELD: pull one counter out of the run's `unit-cache:` line.
+stats() {
+    sed -n "s/^unit-cache: .*$1=\([0-9]*\).*/\1/p" "$log"
+}
+
+sum() {
+    if command -v sha256sum > /dev/null 2>&1; then
+        sha256sum "$1" | cut -d' ' -f1
+    else
+        shasum -a 256 "$1" | cut -d' ' -f1
+    fi
+}
+
+# Cold: everything misses and is stored.
+"$bin" -machine all-sim -fast -only table2,table7 -unit-cache "$dir" -out "$cold" > /dev/null 2> "$log"
+misses1=$(stats misses)
+stored1=$(stats stored)
+if [ "$misses1" -eq 0 ] || [ "$stored1" -ne "$misses1" ]; then
+    echo "cache-smoke: cold run stats wrong: misses=$misses1 stored=$stored1" >&2
+    exit 1
+fi
+
+# Warm: every unit is a hit, nothing executes, bytes are identical.
+"$bin" -machine all-sim -fast -only table2,table7 -unit-cache "$dir" -out "$warm" > /dev/null 2> "$log"
+hits2=$(stats hits)
+misses2=$(stats misses)
+if [ "$misses2" -ne 0 ] || [ "$hits2" -ne "$misses1" ]; then
+    echo "cache-smoke: warm run stats wrong: hits=$hits2 misses=$misses2 (want hits=$misses1 misses=0)" >&2
+    exit 1
+fi
+if grep -q '^running ' "$log"; then
+    echo "cache-smoke: warm run executed experiments:" >&2
+    grep '^running ' "$log" >&2
+    exit 1
+fi
+c=$(sum "$cold")
+w=$(sum "$warm")
+if [ "$c" != "$w" ]; then
+    echo "cache-smoke: WARM RUN DIVERGED: cold $c != warm $w" >&2
+    exit 1
+fi
+
+# Widening the selection recomputes only the new units.
+"$bin" -machine all-sim -fast -only table2,table7,table9 -unit-cache "$dir" -out /dev/null > /dev/null 2> "$log"
+hits3=$(stats hits)
+misses3=$(stats misses)
+if [ "$hits3" -ne "$misses1" ] || [ "$misses3" -eq 0 ]; then
+    echo "cache-smoke: widened run stats wrong: hits=$hits3 misses=$misses3 (want hits=$misses1, misses>0)" >&2
+    exit 1
+fi
+
+# A fresh cold run of the widened set still matches a fully-warm one.
+"$bin" -machine all-sim -fast -only table2,table7,table9 -unit-cache "$dir" -out "$fresh" > /dev/null 2> "$log"
+misses4=$(stats misses)
+if [ "$misses4" -ne 0 ]; then
+    echo "cache-smoke: second widened run missed $misses4 units" >&2
+    exit 1
+fi
+
+# Flipping an option moves every affected unit's key — nothing is
+# served stale (the quality gate is a key ingredient: it changes the
+# measured bytes).
+"$bin" -machine all-sim -fast -only table2,table7 -max-rsd 0.2 -unit-cache "$dir" -out /dev/null > /dev/null 2> "$log"
+hits5=$(stats hits)
+misses5=$(stats misses)
+if [ "$hits5" -ne 0 ] || [ "$misses5" -ne "$misses1" ]; then
+    echo "cache-smoke: option flip served stale units: hits=$hits5 misses=$misses5 (want hits=0 misses=$misses1)" >&2
+    exit 1
+fi
+
+echo "cache-smoke: ok (cold $misses1 units, warm 0 executed, widened +$misses3, option flip recomputed $misses5, sha256 $c)"

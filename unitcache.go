@@ -1,0 +1,47 @@
+package lmbench
+
+import (
+	"repro/internal/core"
+	"repro/internal/unitcache"
+)
+
+// This file re-exports the unit cache — incremental evaluation for
+// warm runs — so binaries can wire it from the facade alone. The
+// cache keys each work unit (one machine × one experiment group) by
+// the machine profile fingerprint, the experiment group key, the
+// normalized-options fingerprint and the simulator code version, and
+// persists the unit's database fragment content-addressed on disk. A
+// later run whose key matches reuses the fragment instead of
+// re-executing the unit, producing a byte-identical database; any key
+// ingredient changing (options, profile, code version, quality gate)
+// recomputes exactly the affected units.
+
+// UnitCache is a content-addressed store of completed work-unit
+// results; see OpenUnitCache and WithUnitCache.
+type UnitCache = unitcache.Cache
+
+// UnitCacheConfig tunes a UnitCache: read-only mode, the LRU size cap
+// and the traffic observer.
+type UnitCacheConfig = unitcache.Config
+
+// CacheStats is a snapshot of unit-cache traffic counters; its String
+// form is the CLI's stats line.
+type CacheStats = unitcache.Stats
+
+// CacheObserver receives unit-cache traffic callbacks as they happen;
+// CacheMetrics satisfies it.
+type CacheObserver = unitcache.Observer
+
+// OpenUnitCache opens (creating if needed) the unit cache rooted at
+// dir for runs with the given options. This is the programmatic form
+// of WithUnitCache, for callers driving core.Runner or the fleet
+// coordinator directly; pass the cache through their Cache field.
+// Note the quality-gate settings live in UnitCacheConfig, not Options
+// — they are key ingredients because they change the measured bytes.
+func OpenUnitCache(dir string, opts Options, cfg UnitCacheConfig) (*UnitCache, error) {
+	return unitcache.Open(dir, opts, cfg)
+}
+
+// Compile-time check that the concrete cache satisfies the hook the
+// suite and coordinator consult.
+var _ core.UnitCache = (*unitcache.Cache)(nil)
