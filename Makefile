@@ -4,7 +4,7 @@ GO ?= go
 #   make chaos LMBENCH_CHAOS_SEED=99
 LMBENCH_CHAOS_SEED ?= 1
 
-.PHONY: all build vet test race chaos chaos-net verify bench bench-smoke serve-smoke fleet-smoke store-smoke cache-smoke fuzz-smoke profile
+.PHONY: all build vet test race chaos chaos-net verify bench bench-smoke serve-smoke fleet-smoke store-smoke cache-smoke sweep-smoke fuzz-smoke profile
 
 # Benchmarks recorded in BENCH_pr3.json: the Figure-1 sweep plus the
 # memory-heavy tables (the simulator hot paths), and the simmem
@@ -55,6 +55,11 @@ chaos-net:
 # directory — cold (the cache is wiped before every iteration) and warm
 # — and benchjson condenses the pair into BENCH_pr8.json, where
 # "speedup" is warm-over-cold.
+#
+# The sweep-planning benchmark also runs twice — exhaustive, then
+# adaptive — and benchjson condenses the pair into BENCH_pr9.json,
+# where "speedup" is exhaustive-over-adaptive wall time and
+# "point_reduction" is the measured-grid-point ratio.
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -count $(BENCH_COUNT) . | tee bench_after.txt
 	$(GO) test -run '^$$' -bench '$(BENCH_MICRO)' -benchmem -count $(BENCH_COUNT) ./internal/simmem/ | tee -a bench_after.txt
@@ -66,12 +71,19 @@ bench:
 		$(GO) test -run '^$$' -bench EvaluationUnitCache -count $(BENCH_COUNT) . | tee bench_cache_warm.txt
 	$(GO) run ./cmd/benchjson -before bench_cache_cold.txt -after bench_cache_warm.txt -out BENCH_pr8.json
 	rm -rf bench_cache_dir
+	LMBENCH_SWEEP_MODE=exhaustive \
+		$(GO) test -run '^$$' -bench Figure1SweepPlanning -count $(BENCH_COUNT) . | tee bench_sweep_exhaustive.txt
+	LMBENCH_SWEEP_MODE=adaptive \
+		$(GO) test -run '^$$' -bench Figure1SweepPlanning -count $(BENCH_COUNT) . | tee bench_sweep_adaptive.txt
+	$(GO) run ./cmd/benchjson -before bench_sweep_exhaustive.txt -after bench_sweep_adaptive.txt -out BENCH_pr9.json
 
 # bench-smoke proves every recorded benchmark still runs (one
 # iteration each); part of verify so a refactor cannot silently break
 # the measurement harness.
 bench-smoke:
 	$(GO) test -run '^$$' -bench Figure1MemoryLatency -benchtime 1x . > /dev/null
+	LMBENCH_SWEEP_MODE=adaptive \
+		$(GO) test -run '^$$' -bench Figure1SweepPlanning -benchtime 1x . > /dev/null
 	$(GO) test -run '^$$' -bench '$(BENCH_MICRO)' -benchtime 1x ./internal/simmem/ > /dev/null
 
 # serve-smoke boots a short real run with `-serve` and proves all
@@ -104,6 +116,14 @@ store-smoke:
 cache-smoke:
 	GO="$(GO)" ./scripts/cache_smoke.sh
 
+# sweep-smoke proves adaptive sweep planning through the CLI: real
+# point savings on the memory sweeps, byte-identical results across
+# shard counts, and refusal of the compositions that would corrupt
+# planning (chaos faults, cross-mode journal resume); part of verify
+# so the planner's wiring cannot silently rot.
+sweep-smoke:
+	GO="$(GO)" ./scripts/sweep_smoke.sh
+
 # fuzz-smoke runs each results-codec and store corrupt-shard fuzz
 # target briefly over its seed corpus — a CI-sized slice of
 # `go test -fuzz`.
@@ -129,7 +149,8 @@ profile:
 # answer during a live run, a worker fleet must produce
 # serial-identical bytes, the results service must
 # ingest/serve/revalidate end to end, a warm cached run must be
-# byte-identical while executing nothing, the codecs, scrub and cache
-# fragments must survive a fuzz smoke, and the distributed layer must
-# converge through wire chaos and a mid-ingest kill.
-verify: build vet test race bench-smoke serve-smoke fleet-smoke store-smoke cache-smoke fuzz-smoke chaos-net
+# byte-identical while executing nothing, the adaptive sweep planner
+# must save points and refuse unsafe compositions, the codecs, scrub
+# and cache fragments must survive a fuzz smoke, and the distributed
+# layer must converge through wire chaos and a mid-ingest kill.
+verify: build vet test race bench-smoke serve-smoke fleet-smoke store-smoke cache-smoke sweep-smoke fuzz-smoke chaos-net

@@ -15,6 +15,8 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -146,6 +148,36 @@ func BenchmarkTable14RemoteLatency(b *testing.B)  { benchTable(b, "table14", ben
 func BenchmarkTable15TCPConnect(b *testing.B)     { benchTable(b, "table15", benchMachines) }
 func BenchmarkTable16FSLatency(b *testing.B)      { benchTable(b, "table16", benchMachines) }
 func BenchmarkTable17DiskOverhead(b *testing.B)   { benchTable(b, "table17", benchMachines) }
+
+// BenchmarkFigure1SweepPlanning regenerates the Figure-1 memory
+// sweep under the sweep mode named by $LMBENCH_SWEEP_MODE (default
+// exhaustive) and reports the grid points actually measured as
+// points/op. `make bench` runs it once per mode and benchjson
+// condenses the pair into BENCH_pr9.json, where "speedup" is
+// exhaustive-over-adaptive wall time and "point_reduction" is the
+// measured-point ratio — the >=2x number the adaptive planner is
+// accountable for.
+func BenchmarkFigure1SweepPlanning(b *testing.B) {
+	opts := benchOpts()
+	opts.SweepMode = core.SweepMode(os.Getenv("LMBENCH_SWEEP_MODE"))
+	var entries []results.Entry
+	for i := 0; i < b.N; i++ {
+		var err error
+		entries, err = core.MemLatencySweep(context.Background(), benchMachine(b, "DEC Alpha@300"), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	measured := len(entries[0].Series)
+	if s := entries[0].Attrs["sweep.points_measured"]; s != "" {
+		var err error
+		if measured, err = strconv.Atoi(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(measured), "points/op")
+}
 
 // BenchmarkFigure1MemoryLatency regenerates the Figure-1 sweep on the
 // machine the paper uses (DEC Alpha 8400) and logs the staircase plot.

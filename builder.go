@@ -37,6 +37,7 @@ type Bench struct {
 	publishAddr    string
 	publishRetries int
 	runLabel       string
+	sweepMode      SweepMode
 	cacheDir       string
 	cacheReadOnly  bool
 	cacheMaxBytes  int64
@@ -214,6 +215,17 @@ func WithUnitCacheObserver(o CacheObserver) Option {
 	return func(b *Bench) { b.cacheObs = o }
 }
 
+// WithSweepMode selects how point sweeps cover their grids:
+// SweepExhaustive (the default) measures every point; SweepAdaptive
+// runs the variance-aware planner, measuring a coarse pass plus
+// refinement around detected plateau transitions and interpolating
+// the rest. The mode rides the options fingerprint, so it composes
+// with WithOptions in either order and the two modes never share run
+// IDs or unit-cache keys.
+func WithSweepMode(mode SweepMode) Option {
+	return func(b *Bench) { b.sweepMode = mode }
+}
+
 // WithRunLabel tags the run with a human-readable label
 // ("nightly-2026-08-08"). Labels are descriptive, not part of the run
 // key, and stored runs can be queried by them.
@@ -263,6 +275,13 @@ func (r *Report) Publish(ctx context.Context, s *Store) (Manifest, error) {
 func (b *Bench) Run(ctx context.Context) (*Report, error) {
 	if len(b.machines) == 0 {
 		return nil, errors.New("lmbench: no machines configured (use WithMachine)")
+	}
+	// Fold the sweep mode into the options before anything derives
+	// state from them (unit-cache keys, the fleet/runner config, the
+	// manifest fingerprint), so WithSweepMode works regardless of its
+	// ordering relative to WithOptions.
+	if b.sweepMode != "" {
+		b.opts.SweepMode = b.sweepMode
 	}
 	var only map[string]bool
 	if len(b.only) > 0 {

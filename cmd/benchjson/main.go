@@ -26,6 +26,10 @@ import (
 // suffix and fractional ns/op.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
 
+// pointsMetric matches the custom points/op metric the sweep-planning
+// benchmark reports (grid points measured per regeneration).
+var pointsMetric = regexp.MustCompile(`([0-9.]+) points/op`)
+
 type summary struct {
 	// Name is the benchmark function name without the -cpu suffix.
 	Name string `json:"name"`
@@ -34,17 +38,27 @@ type summary struct {
 	AfterNS  float64 `json:"after_ns_per_op"`
 	// Speedup is BeforeNS / AfterNS, present when both sides exist.
 	Speedup float64 `json:"speedup,omitempty"`
+	// BeforePoints and AfterPoints carry the points/op metric when the
+	// benchmark reports one; PointReduction is their ratio (for the
+	// sweep-planning pair: exhaustive grid points over adaptive).
+	BeforePoints   float64 `json:"before_points_per_op,omitempty"`
+	AfterPoints    float64 `json:"after_points_per_op,omitempty"`
+	PointReduction float64 `json:"point_reduction,omitempty"`
 	// Samples counts the after-side runs behind the best-of-N.
 	Samples int `json:"samples"`
 }
 
-func parse(path string) (map[string][]float64, error) {
+// result is one parsed benchmark line: ns/op plus the optional
+// points/op metric (0 when the benchmark does not report it).
+type result struct{ ns, points float64 }
+
+func parse(path string) (map[string][]result, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer func() { _ = f.Close() }()
-	out := map[string][]float64{}
+	out := map[string][]result{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -56,15 +70,19 @@ func parse(path string) (map[string][]float64, error) {
 		if err != nil {
 			continue
 		}
-		out[m[1]] = append(out[m[1]], ns)
+		r := result{ns: ns}
+		if pm := pointsMetric.FindStringSubmatch(sc.Text()); pm != nil {
+			r.points, _ = strconv.ParseFloat(pm[1], 64)
+		}
+		out[m[1]] = append(out[m[1]], r)
 	}
 	return out, sc.Err()
 }
 
-func best(xs []float64) float64 {
+func best(xs []result) result {
 	b := xs[0]
 	for _, x := range xs[1:] {
-		if x < b {
+		if x.ns < b.ns {
 			b = x
 		}
 	}
@@ -91,7 +109,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: no benchmark results in %s\n", *afterFlag)
 		os.Exit(1)
 	}
-	before := map[string][]float64{}
+	before := map[string][]result{}
 	if *beforeFlag != "" {
 		if before, err = parse(*beforeFlag); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -105,11 +123,17 @@ func main() {
 	sort.Strings(names)
 	var out []summary
 	for _, n := range names {
-		s := summary{Name: n, AfterNS: best(after[n]), Samples: len(after[n])}
+		ba := best(after[n])
+		s := summary{Name: n, AfterNS: ba.ns, AfterPoints: ba.points, Samples: len(after[n])}
 		if bs := before[n]; len(bs) > 0 {
-			s.BeforeNS = best(bs)
+			bb := best(bs)
+			s.BeforeNS = bb.ns
 			if s.AfterNS > 0 {
 				s.Speedup = s.BeforeNS / s.AfterNS
+			}
+			s.BeforePoints = bb.points
+			if s.AfterPoints > 0 && s.BeforePoints > 0 {
+				s.PointReduction = s.BeforePoints / s.AfterPoints
 			}
 		}
 		out = append(out, s)

@@ -18,6 +18,8 @@
 //	lmbench -journal run.jnl         # crash-safe journal of completed work
 //	lmbench -resume run.jnl          # replay a journal, run the remainder
 //	lmbench -chaos 'err=0.3,seed=1'  # inject faults (testing the harness)
+//	lmbench -sweep adaptive          # variance-aware sweep planning: measure
+//	                                 # transitions, interpolate plateaus
 //	lmbench -unit-cache cache/       # reuse cached unit results (warm runs
 //	                                 # skip execution, byte-identical output)
 //	lmbench -unit-cache-readonly     # serve cache hits, never write
@@ -99,6 +101,7 @@ func run() error {
 		rsdFlag     = flag.Float64("max-rsd", 0, "re-measure experiments whose relative sample spread exceeds this (0 = off)")
 		qretryFlag  = flag.Int("quality-retries", 0, "re-measurements for a noisy experiment (default 2 when -max-rsd is set)")
 		shardsFlag  = flag.Int("shards", 1, "workers for independent-point sweeps on cloneable (simulated) machines; results are byte-identical at any value")
+		sweepFlag   = flag.String("sweep", "exhaustive", "sweep coverage: exhaustive (every grid point, byte-stable) or adaptive (measure transitions, interpolate plateaus)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		fleetFlag   = flag.Int("fleet-workers", 0, "run across this many worker processes (simulated machines only; results are byte-identical)")
@@ -234,12 +237,22 @@ func run() error {
 		targets = append(targets, m)
 	}
 
+	sweepMode := core.SweepMode(*sweepFlag)
+	switch sweepMode {
+	case "", core.SweepExhaustive, core.SweepAdaptive:
+	default:
+		return fmt.Errorf("-sweep: unknown mode %q (want exhaustive or adaptive)", *sweepFlag)
+	}
+
 	var chaotic []*faults.Machine
 	if *chaosFlag != "" && fleetMode {
 		return fmt.Errorf("-chaos does not compose with fleet execution: fault wrappers cannot cross a process boundary")
 	}
 	if *chaosFlag != "" && *cacheFlag != "" {
 		return fmt.Errorf("-chaos does not compose with -unit-cache: fault-perturbed results must never seed the cache")
+	}
+	if *chaosFlag != "" && sweepMode == core.SweepAdaptive {
+		return fmt.Errorf("-chaos does not compose with -sweep adaptive: injected noise would steer the planner's transition detection")
 	}
 	if *chaosFlag != "" {
 		plan, err := faults.ParsePlan(*chaosFlag)
@@ -270,6 +283,7 @@ func run() error {
 		}
 	}
 	opts.SweepShards = *shardsFlag
+	opts.SweepMode = sweepMode
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -343,6 +357,9 @@ func run() error {
 		}
 		sinks = append(sinks, lmbench.NewMetricsSink(registry), progress)
 		lmbench.RegisterHarness(registry)
+		if sweepMode == core.SweepAdaptive {
+			lmbench.RegisterSweepPlanner(registry)
+		}
 		if *publishFlag != "" {
 			lmbench.RegisterPublishRetries(registry)
 		}
@@ -458,6 +475,10 @@ func run() error {
 	}
 	if cache != nil && !*quietFlag {
 		fmt.Fprintf(os.Stderr, "unit-cache: %s\n", cache.Stats())
+	}
+	if sweepMode == core.SweepAdaptive && !*quietFlag {
+		measured, skippedPts := core.ReadSweepStats()
+		fmt.Fprintf(os.Stderr, "sweep: measured=%d skipped=%d\n", measured, skippedPts)
 	}
 	if !*quietFlag {
 		for _, m := range targets {

@@ -29,13 +29,16 @@ func MemLatencySweep(ctx context.Context, m Machine, opts Options) ([]results.En
 	}
 	type point struct{ size, stride int64 }
 	var pts []point
+	var cols []sweepColumn
 	for _, stride := range ChaseStrides {
+		start := len(pts)
 		for size := int64(512); size <= opts.MaxChaseSize; size *= 2 {
 			if size < 2*stride {
 				continue
 			}
 			pts = append(pts, point{size, stride})
 		}
+		cols = append(cols, sweepColumn{Start: start, End: len(pts)})
 	}
 	series := make([]results.Point, len(pts))
 	setup := func(m Machine) (func(context.Context, int) error, error) {
@@ -79,7 +82,17 @@ func MemLatencySweep(ctx context.Context, m Machine, opts Options) ([]results.En
 			return nil
 		}, nil
 	}
-	if err := runSweep(ctx, m, opts.SweepShards, len(pts), setup); err != nil {
+	var rep *sweepReport
+	if opts.SweepMode == SweepAdaptive {
+		rep, err = adaptiveSweep(ctx, m, opts, cols, setup,
+			func(i int) float64 { return series[i].Y },
+			func(i int, y float64) {
+				series[i] = results.Point{X: float64(pts[i].size), X2: float64(pts[i].stride), Y: y}
+			})
+		if err != nil {
+			return nil, err
+		}
+	} else if err := runSweep(ctx, m, opts.SweepShards, len(pts), setup); err != nil {
 		return nil, err
 	}
 	return []results.Entry{{
@@ -87,7 +100,7 @@ func MemLatencySweep(ctx context.Context, m Machine, opts Options) ([]results.En
 		Machine:   m.Name(),
 		Unit:      "ns",
 		Series:    series,
-		Attrs:     map[string]string{"maxsize": fmt.Sprint(opts.MaxChaseSize)},
+		Attrs:     rep.annotate(map[string]string{"maxsize": fmt.Sprint(opts.MaxChaseSize)}, 0, len(pts)),
 	}}, nil
 }
 

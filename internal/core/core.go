@@ -226,6 +226,26 @@ type Machine interface {
 	Disk() DiskOps
 }
 
+// SweepMode selects how the independent-point sweeps (the Figure-1
+// size × stride grid, the §7 memory-variant sweep) cover their point
+// grids.
+type SweepMode string
+
+const (
+	// SweepExhaustive measures every grid point. It is the default and
+	// the only mode covered by the byte-identity guarantee: the golden
+	// database is an exhaustive-mode artifact.
+	SweepExhaustive SweepMode = "exhaustive"
+	// SweepAdaptive measures a coarse log-spaced subset of each grid,
+	// segments it with the plateau detector, and bisects only across
+	// detected transitions until plateau boundaries are localized to
+	// adjacent grid points. Skipped plateau interiors are filled by
+	// interpolation and flagged as synthetic in the entry attrs, so
+	// downstream analysis can always tell measured from inferred
+	// points.
+	SweepAdaptive SweepMode = "adaptive"
+)
+
 // Options bundles harness options with benchmark sizing knobs.
 type Options struct {
 	// Timing configures the measurement harness.
@@ -259,6 +279,11 @@ type Options struct {
 	// run. 0 or 1 means serial; machines without Clone always run
 	// serially.
 	SweepShards int
+	// SweepMode selects exhaustive (default) or adaptive point-sweep
+	// coverage. The mode is part of the options fingerprint, so
+	// adaptive and exhaustive results live under distinct run IDs and
+	// unit-cache keys by construction and can never poison each other.
+	SweepMode SweepMode
 }
 
 // SweepWorkers decides how many workers an independent-point sweep of
@@ -318,6 +343,13 @@ func (o Options) Normalize() (Options, error) {
 	}
 	if o.SweepShards < 0 {
 		return o, fmt.Errorf("core: negative SweepShards %d", o.SweepShards)
+	}
+	switch o.SweepMode {
+	case "":
+		o.SweepMode = SweepExhaustive
+	case SweepExhaustive, SweepAdaptive:
+	default:
+		return o, fmt.Errorf("core: unknown SweepMode %q (want %q or %q)", o.SweepMode, SweepExhaustive, SweepAdaptive)
 	}
 	var err error
 	if o.Timing, err = o.Timing.Normalize(); err != nil {

@@ -91,6 +91,13 @@ type Event struct {
 	// the results database stays byte-identical regardless of
 	// instrumentation.
 	Sim map[string]int64 `json:"sim,omitempty"`
+	// Sweep carries the adaptive sweep planner's decisions for a
+	// finished experiment: "points_measured", "points_skipped" (grid
+	// points filled synthetically instead of measured) and "rounds"
+	// (coarse pass plus bisection rounds). Only attempts that ran an
+	// adaptive sweep produce it; exhaustive sweeps leave it empty, so
+	// the exhaustive event stream is unchanged.
+	Sweep map[string]int64 `json:"sweep,omitempty"`
 }
 
 // EventSink receives suite-lifecycle events. Implementations must be

@@ -250,14 +250,17 @@ func ExtMemVariants(ctx context.Context, m Machine, opts Options) ([]results.Ent
 		size    int64
 	}
 	var pts []point
+	var cols []sweepColumn
 	perVariant := 0
 	for _, v := range variants {
+		start := len(pts)
 		n := 0
 		for size := int64(4 << 10); size <= opts.MaxChaseSize; size *= 2 {
 			pts = append(pts, point{v, size})
 			n++
 		}
 		perVariant = n
+		cols = append(cols, sweepColumn{Start: start, End: len(pts)})
 	}
 	series := make([]results.Point, len(pts))
 	setup := func(m Machine) (func(context.Context, int) error, error) {
@@ -301,7 +304,17 @@ func ExtMemVariants(ctx context.Context, m Machine, opts Options) ([]results.Ent
 			return nil
 		}, nil
 	}
-	if err := runSweep(ctx, m, opts.SweepShards, len(pts), setup); err != nil {
+	var rep *sweepReport
+	if opts.SweepMode == SweepAdaptive {
+		rep, err = adaptiveSweep(ctx, m, opts, cols, setup,
+			func(i int) float64 { return series[i].Y },
+			func(i int, y float64) {
+				series[i] = results.Point{X: float64(pts[i].size), X2: stride, Y: y}
+			})
+		if err != nil {
+			return nil, err
+		}
+	} else if err := runSweep(ctx, m, opts.SweepShards, len(pts), setup); err != nil {
 		return nil, err
 	}
 	var out []results.Entry
@@ -313,6 +326,7 @@ func ExtMemVariants(ctx context.Context, m Machine, opts Options) ([]results.Ent
 		}
 		out = append(out, results.Entry{
 			Benchmark: name, Machine: m.Name(), Unit: "ns", Series: vs,
+			Attrs: rep.annotate(nil, vi*perVariant, (vi+1)*perVariant),
 		})
 		// The memory plateau: the largest-size point.
 		out = append(out, entry(m, name+".mem", "ns", vs[len(vs)-1].Y, nil))

@@ -234,6 +234,12 @@ func (s *Suite) Run(ctx context.Context, db *results.DB) (skipped []string, err 
 		}
 		if s.Resume != nil {
 			if rec, ok := s.Resume.Lookup(s.M.Name(), key); ok {
+				// A journal from the other sweep mode must not seed this
+				// run: adaptive results carry synthetic points an
+				// exhaustive database may never contain, and vice versa.
+				if err := CheckReplayMode(rec, opts.SweepMode); err != nil {
+					return skipped, fmt.Errorf("%s: %w", exp.ID, err)
+				}
 				sink.Event(Event{
 					Kind: ExperimentReplayed, Time: time.Now(), Machine: s.M.Name(),
 					Experiment: exp.ID, Title: exp.Title, Entries: len(rec.Entries),
@@ -367,12 +373,12 @@ func (s *Suite) runExperiment(ctx context.Context, sink EventSink, exp Experimen
 	if s.MaxRSD > 0 {
 		rec = &timing.Recorder{}
 	}
-	ev := func(kind EventKind, attempt int, dur time.Duration, entries int, err error, q qualitySummary, sim map[string]int64) {
+	ev := func(kind EventKind, attempt int, dur time.Duration, entries int, err error, q qualitySummary, sim, sweep map[string]int64) {
 		e := Event{
 			Kind: kind, Time: time.Now(), Machine: s.M.Name(),
 			Experiment: exp.ID, Title: exp.Title,
 			Attempt: attempt, Duration: dur, Entries: entries,
-			Sim: sim,
+			Sim: sim, Sweep: sweep,
 		}
 		if err != nil {
 			e.Err = err.Error()
@@ -384,9 +390,9 @@ func (s *Suite) runExperiment(ctx context.Context, sink EventSink, exp Experimen
 		sink.Event(e)
 	}
 	for attempt := 1; ; attempt++ {
-		ev(ExperimentStarted, attempt, 0, 0, nil, qualitySummary{}, nil)
+		ev(ExperimentStarted, attempt, 0, 0, nil, qualitySummary{}, nil, nil)
 		start := time.Now()
-		entries, q, sim, err := s.attempt(ctx, sink, exp, opts, rec, attempt)
+		entries, q, sim, sweep, err := s.attempt(ctx, sink, exp, opts, rec, attempt)
 		dur := time.Since(start)
 		switch {
 		case err == nil:
@@ -396,22 +402,22 @@ func (s *Suite) runExperiment(ctx context.Context, sink EventSink, exp Experimen
 				// spread is undefined): reject the measurement and try
 				// again.
 				qualityLeft--
-				ev(ExperimentQuality, attempt, dur, len(entries), nil, q, nil)
+				ev(ExperimentQuality, attempt, dur, len(entries), nil, q, nil, nil)
 				continue
 			}
 			if s.MaxRSD > 0 && q.Measurements > 0 {
 				stampQuality(entries, q, noisy)
 			}
-			ev(ExperimentFinished, attempt, dur, len(entries), nil, q, sim)
+			ev(ExperimentFinished, attempt, dur, len(entries), nil, q, sim, sweep)
 			return entries, nil
 		case IsUnsupported(err):
-			ev(ExperimentSkipped, attempt, dur, 0, err, qualitySummary{}, nil)
+			ev(ExperimentSkipped, attempt, dur, 0, err, qualitySummary{}, nil, nil)
 			return nil, err
 		case ctx.Err() != nil || attempt >= maxAttempts:
-			ev(ExperimentFailed, attempt, dur, 0, err, qualitySummary{}, nil)
+			ev(ExperimentFailed, attempt, dur, 0, err, qualitySummary{}, nil, nil)
 			return nil, err
 		}
-		ev(ExperimentRetried, attempt, dur, 0, err, qualitySummary{}, nil)
+		ev(ExperimentRetried, attempt, dur, 0, err, qualitySummary{}, nil, nil)
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
@@ -430,9 +436,12 @@ func (s *Suite) runExperiment(ctx context.Context, sink EventSink, exp Experimen
 // AttemptProber additionally get a timing.Probe installed on the
 // context, so observability can see individual harness batches — out
 // of band, never inside a timed interval. On simulated machines the
-// returned map carries the experiment's activity-counter delta
-// (SimStatser) for the event stream.
-func (s *Suite) attempt(ctx context.Context, sink EventSink, exp Experiment, opts Options, rec *timing.Recorder, attempt int) ([]results.Entry, qualitySummary, map[string]int64, error) {
+// first returned map carries the experiment's activity-counter delta
+// (SimStatser) for the event stream; the second carries the adaptive
+// sweep planner's decision counters, collected via the attempt context
+// exactly like the recorder, and stays nil for exhaustive sweeps and
+// non-sweep experiments.
+func (s *Suite) attempt(ctx context.Context, sink EventSink, exp Experiment, opts Options, rec *timing.Recorder, attempt int) ([]results.Entry, qualitySummary, map[string]int64, map[string]int64, error) {
 	if timing.IsRealTime(s.M.Clock()) {
 		wallMu.Lock()
 		defer wallMu.Unlock()
@@ -467,6 +476,11 @@ func (s *Suite) attempt(ctx context.Context, sink EventSink, exp Experiment, opt
 		cb.BindContext(runCtx)
 		defer cb.BindContext(context.Background())
 	}
+	var sw *sweepCollector
+	if opts.SweepMode == SweepAdaptive {
+		sw = &sweepCollector{}
+		runCtx = withSweepCollector(runCtx, sw)
+	}
 	var simBefore map[string]int64
 	ss, hasSim := s.M.(SimStatser)
 	if hasSim {
@@ -490,7 +504,17 @@ func (s *Suite) attempt(ctx context.Context, sink EventSink, exp Experiment, opt
 			sim = nil
 		}
 	}
-	return entries, q, sim, err
+	var sweep map[string]int64
+	if sw != nil && err == nil {
+		if m, sk := sw.measured.Load(), sw.skipped.Load(); m > 0 || sk > 0 {
+			sweep = map[string]int64{
+				"points_measured": m,
+				"points_skipped":  sk,
+				"rounds":          sw.rounds.Load(),
+			}
+		}
+	}
+	return entries, q, sim, sweep, err
 }
 
 // qualitySummary condenses the measurements of one attempt for the

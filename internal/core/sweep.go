@@ -17,22 +17,62 @@ import (
 // pattern applied inside one experiment. A sharded sweep therefore
 // encodes byte-identically to a serial one, which TestShardedSweep
 // asserts under the race detector.
+//
+// The pool below is batch-oriented so the adaptive planner (planner.go)
+// can reuse the same machines across refinement rounds: exhaustive mode
+// dispatches the full grid as one batch, adaptive mode dispatches a
+// coarse batch followed by per-round bisection batches, and both get
+// identical per-point semantics.
 
-// runSweep evaluates points 0..n-1. setup prepares one machine for the
-// sweep (allocations, probes) and returns the point evaluator, which
-// writes its result into a caller-owned slot for its index — slots are
-// disjoint across points, so no locking is needed. Serial runs reuse m
-// directly; sharded runs give each extra worker a fresh clone. The
-// evaluator must make each point self-contained (the sweeps do so by
-// flushing caches first).
-func runSweep(ctx context.Context, m Machine, shards, n int, setup func(Machine) (func(context.Context, int) error, error)) error {
-	workers := Options{SweepShards: shards}.SweepWorkers(m, n)
-	if workers == 1 {
-		run, err := setup(m)
-		if err != nil {
-			return err
+// sweepPool holds the worker machines of one sweep, each already
+// prepared by the sweep's setup function. Worker 0 is the caller's
+// machine; extra workers are clones made at construction. Because every
+// point value is a function of (machine, point) alone, any batch
+// partitioning across the pool's workers produces the same results.
+type sweepPool struct {
+	workers int
+	runs    []func(context.Context, int) error
+}
+
+// newSweepPool prepares workers machines for a sweep: the original m
+// plus workers-1 clones, each passed through setup to build its point
+// evaluator. The caller must have clamped workers via
+// Options.SweepWorkers (workers > 1 requires m to implement Cloner).
+func newSweepPool(m Machine, workers int, setup func(Machine) (func(context.Context, int) error, error)) (*sweepPool, error) {
+	runs := make([]func(context.Context, int) error, workers)
+	r0, err := setup(m)
+	if err != nil {
+		return nil, err
+	}
+	runs[0] = r0
+	if workers > 1 {
+		cl := m.(Cloner)
+		for w := 1; w < workers; w++ {
+			c, err := cl.Clone()
+			if err != nil {
+				return nil, fmt.Errorf("core: sweep clone: %w", err)
+			}
+			rw, err := setup(c)
+			if err != nil {
+				return nil, err
+			}
+			runs[w] = rw
 		}
-		for i := 0; i < n; i++ {
+	}
+	return &sweepPool{workers: workers, runs: runs}, nil
+}
+
+// run evaluates the points in idx, fanning them across the pool's
+// workers. Each point writes its result into a caller-owned slot for
+// its index — slots are disjoint across points, so no locking is
+// needed. Serial pools evaluate in order on worker 0; parallel pools
+// pull positions from a channel, and the reported failure is the one a
+// serial run would hit first: the lowest-position real error, with
+// cancellations caused by a later point's failure ranking behind it.
+func (p *sweepPool) run(ctx context.Context, idx []int) error {
+	if p.workers == 1 || len(idx) <= 1 {
+		run := p.runs[0]
+		for _, i := range idx {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
@@ -42,63 +82,44 @@ func runSweep(ctx context.Context, m Machine, shards, n int, setup func(Machine)
 		}
 		return nil
 	}
-	mach := make([]Machine, workers)
-	mach[0] = m
-	cl := m.(Cloner)
-	for w := 1; w < workers; w++ {
-		c, err := cl.Clone()
-		if err != nil {
-			return fmt.Errorf("core: sweep clone: %w", err)
-		}
-		mach[w] = c
-	}
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	errs := make([]error, n)
+	errs := make([]error, len(idx))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < p.workers; w++ {
 		wg.Add(1)
-		go func(mm Machine) {
+		go func(run func(context.Context, int) error) {
 			defer wg.Done()
-			run, err := setup(mm)
-			if err != nil {
-				cancel()
-			}
-			for i := range jobs {
+			for pos := range jobs {
 				switch {
-				case err != nil:
-					errs[i] = err
 				case runCtx.Err() != nil:
-					errs[i] = runCtx.Err()
+					errs[pos] = runCtx.Err()
 				default:
-					if e := run(runCtx, i); e != nil {
-						errs[i] = e
+					if e := run(runCtx, idx[pos]); e != nil {
+						errs[pos] = e
 						cancel()
 					}
 				}
 			}
-		}(mach[w])
+		}(p.runs[w])
 	}
-	for i := 0; i < n; i++ {
-		jobs <- i
+	for pos := range idx {
+		jobs <- pos
 	}
 	close(jobs)
 	wg.Wait()
-	// Report the failure a serial run would hit first: the lowest-index
-	// real error; cancellations caused by a later point's failure rank
-	// behind it.
 	var firstErr, firstCancel error
-	for i := 0; i < n; i++ {
+	for _, e := range errs {
 		switch {
-		case errs[i] == nil:
-		case errors.Is(errs[i], context.Canceled) && ctx.Err() == nil:
+		case e == nil:
+		case errors.Is(e, context.Canceled) && ctx.Err() == nil:
 			if firstCancel == nil {
-				firstCancel = errs[i]
+				firstCancel = e
 			}
 		default:
 			if firstErr == nil {
-				firstErr = errs[i]
+				firstErr = e
 			}
 		}
 	}
@@ -106,4 +127,22 @@ func runSweep(ctx context.Context, m Machine, shards, n int, setup func(Machine)
 		return firstErr
 	}
 	return firstCancel
+}
+
+// runSweep evaluates points 0..n-1 exhaustively. setup prepares one
+// machine for the sweep (allocations, probes) and returns the point
+// evaluator; see sweepPool. Serial runs reuse m directly; sharded runs
+// give each extra worker a fresh clone. The evaluator must make each
+// point self-contained (the sweeps do so by flushing caches first).
+func runSweep(ctx context.Context, m Machine, shards, n int, setup func(Machine) (func(context.Context, int) error, error)) error {
+	workers := Options{SweepShards: shards}.SweepWorkers(m, n)
+	pool, err := newSweepPool(m, workers, setup)
+	if err != nil {
+		return err
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return pool.run(ctx, idx)
 }

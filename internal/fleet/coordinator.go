@@ -260,6 +260,17 @@ func (c *Coordinator) Run(ctx context.Context, db *results.DB) (map[string][]str
 				continue
 			}
 			g := byKey[u.Key]
+			// Cross-mode journals must not seed the fleet, exactly as in
+			// the serial suite: adaptive and exhaustive sweep results can
+			// never mix in one database.
+			if err := core.CheckReplayMode(rec, opts.SweepMode); err != nil {
+				r.mu.Lock()
+				r.res[i] = unitResult{done: true, err: err}
+				r.mu.Unlock()
+				r.finishUnit(u, err.Error())
+				cancel()
+				break
+			}
 			r.beginMachine(u.Machine)
 			r.sink.Event(core.Event{
 				Kind: core.ExperimentReplayed, Time: time.Now(), Machine: u.Machine,

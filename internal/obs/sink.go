@@ -153,6 +153,24 @@ func RegisterHarness(reg *Registry) {
 		})
 }
 
+// RegisterSweepPlanner exports the adaptive sweep planner's
+// process-global decision counters (core.ReadSweepStats): grid points
+// actually measured and grid points skipped (filled by interpolation).
+// Exhaustive sweeps touch neither, so both families stay zero unless
+// a run uses -sweep adaptive.
+func RegisterSweepPlanner(reg *Registry) {
+	reg.CounterFunc("lmbench_sweep_points_measured_total",
+		"Sweep grid points measured by the adaptive planner.", func() float64 {
+			m, _ := core.ReadSweepStats()
+			return float64(m)
+		})
+	reg.CounterFunc("lmbench_sweep_points_skipped_total",
+		"Sweep grid points skipped (interpolated) by the adaptive planner.", func() float64 {
+			_, s := core.ReadSweepStats()
+			return float64(s)
+		})
+}
+
 // RegisterJournal exports a journal writer's durable byte counter.
 func RegisterJournal(reg *Registry, jw *core.JournalWriter) {
 	reg.CounterFunc("lmbench_journal_bytes_total",

@@ -41,6 +41,9 @@ type Span struct {
 	N int64 `json:"n,omitempty"`
 	// Err carries the failure text of retried/failed/skipped attempts.
 	Err string `json:"error,omitempty"`
+	// Sweep carries the adaptive planner's decision counters
+	// (points_measured, points_skipped, rounds) on planner spans.
+	Sweep map[string]int64 `json:"sweep,omitempty"`
 }
 
 // TraceSink turns the suite's event stream into a span trace: one JSON
@@ -129,6 +132,20 @@ func (t *TraceSink) Event(e core.Event) {
 			Outcome: outcome(e.Kind),
 			Err:     e.Err,
 		})
+		// Attempts that ran the adaptive sweep planner get a child
+		// span recording its decisions, so a trace shows where points
+		// were spent and where the planner skipped.
+		if e.Kind == core.ExperimentFinished && len(e.Sweep) > 0 {
+			t.emit(Span{
+				Name: "planner", Kind: "planner",
+				Stack:   "suite;" + e.Machine + ";" + e.Experiment + ";" + name + ";planner",
+				StartUS: e.Time.Add(-e.Duration).Sub(t.epoch).Microseconds(),
+				DurNS:   e.Duration.Nanoseconds(),
+				Outcome: "planned",
+				N:       e.Sweep["points_measured"],
+				Sweep:   e.Sweep,
+			})
+		}
 	}
 }
 

@@ -18,6 +18,14 @@ import (
 // ErrEmpty is returned by functions that require at least one sample.
 var ErrEmpty = errors.New("stats: empty sample set")
 
+// ErrNaN is returned by order statistics when the sample set contains
+// NaN. NaN is unordered, so sorting a contaminated set silently
+// produces an arbitrary permutation and an arbitrary percentile; the
+// results layer already refuses NaN at the database boundary
+// (results.DB.Add), and the stats layer matches that policy rather
+// than returning garbage.
+var ErrNaN = errors.New("stats: NaN sample")
+
 // Min returns the smallest value in xs.
 func Min(xs []float64) (float64, error) {
 	if len(xs) == 0 {
@@ -106,18 +114,41 @@ func Median(xs []float64) (float64, error) {
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
 // interpolation between closest ranks. xs is not modified.
+//
+// Pinned edge cases (the adaptive sweep planner's stopping rule calls
+// this on refinement windows as small as one sample, where every edge
+// below actually occurs):
+//   - p=0 returns the minimum and p=100 the maximum, exactly — no
+//     interpolation arithmetic that could drift off the extremes.
+//   - A single-sample set returns that sample for every p.
+//   - A NaN p is rejected (it is not in [0,100]; the comparison-based
+//     range check alone would let it through and index with a garbage
+//     rank), as is any NaN-contaminated sample set (ErrNaN) — NaN is
+//     unordered and corrupts the sort, mirroring results.DB.Add's
+//     refusal to store NaN.
 func Percentile(xs []float64, p float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
-	if p < 0 || p > 100 {
+	if math.IsNaN(p) || p < 0 || p > 100 {
 		return 0, errors.New("stats: percentile out of range")
+	}
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return 0, ErrNaN
+		}
 	}
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)
 	if len(sorted) == 1 {
 		return sorted[0], nil
+	}
+	if p == 0 {
+		return sorted[0], nil
+	}
+	if p == 100 {
+		return sorted[len(sorted)-1], nil
 	}
 	rank := p / 100 * float64(len(sorted)-1)
 	lo := int(math.Floor(rank))
@@ -322,16 +353,28 @@ type Plateau struct {
 // running plateau level (with absTol as a floor for near-zero levels).
 // This is the primitive behind the Table-6 extraction: the memory
 // latency curve is a staircase whose steps are the cache levels.
+//
+// Tolerance semantics are pinned: a zero tolerance means exact
+// equality, and negative or NaN tolerances clamp to zero rather than
+// silently flipping the comparison (a negative tol would make even
+// identical points "differ", splitting every sample into its own
+// plateau; before clamping, so would a descending curve, because the
+// raw product level*relTol went negative with the level). The relative
+// tolerance is taken against the magnitude of the running level, so
+// descending or negative-valued series segment the same way their
+// mirror images do. A single-point series is one plateau at that value.
 func Plateaus(ys []float64, relTol, absTol float64) []Plateau {
 	if len(ys) == 0 {
 		return nil
 	}
+	relTol = clampTol(relTol)
+	absTol = clampTol(absTol)
 	var out []Plateau
 	start := 0
 	level := ys[0]
 	count := 1.0
 	for i := 1; i < len(ys); i++ {
-		tol := level * relTol
+		tol := math.Abs(level) * relTol
 		if tol < absTol {
 			tol = absTol
 		}
@@ -350,13 +393,27 @@ func Plateaus(ys []float64, relTol, absTol float64) []Plateau {
 	return out
 }
 
+// clampTol normalizes a caller-supplied tolerance the way
+// Options.Normalize treats its knobs: out-of-domain values are not
+// allowed to change the comparison's meaning. Negative and NaN
+// tolerances clamp to 0 (exact equality), the strictest valid setting.
+func clampTol(tol float64) float64 {
+	if math.IsNaN(tol) || tol < 0 {
+		return 0
+	}
+	return tol
+}
+
 // MergePlateaus coalesces adjacent plateaus whose levels are within
 // relTol of each other; the merged level is the length-weighted mean.
 // Useful after Plateaus when noise split one logical step in two.
+// relTol follows the same clamping rule as Plateaus: zero means exact
+// equality, negative/NaN clamp to zero.
 func MergePlateaus(ps []Plateau, relTol float64) []Plateau {
 	if len(ps) == 0 {
 		return nil
 	}
+	relTol = clampTol(relTol)
 	out := []Plateau{ps[0]}
 	for _, p := range ps[1:] {
 		last := &out[len(out)-1]

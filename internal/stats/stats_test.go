@@ -467,3 +467,152 @@ func TestRelSpreadDegenerate(t *testing.T) {
 		}
 	}
 }
+
+// The planner's stopping rule evaluates percentiles of refinement
+// windows that can be a single sample or carry a NaN from a degenerate
+// probe; these edges are pinned, not left to sort/float behavior.
+func TestPercentileEdges(t *testing.T) {
+	// p=0 and p=100 are exactly the extremes, no interpolation drift.
+	xs := []float64{0.1 + 0.2, 0.3, 7, -4} // 0.1+0.2 != 0.3 in floats
+	mn, _ := Min(xs)
+	mx, _ := Max(xs)
+	if v, err := Percentile(xs, 0); err != nil || v != mn {
+		t.Errorf("Percentile(p=0) = %v, %v; want exact min %v", v, err, mn)
+	}
+	if v, err := Percentile(xs, 100); err != nil || v != mx {
+		t.Errorf("Percentile(p=100) = %v, %v; want exact max %v", v, err, mx)
+	}
+	// Single sample: every p returns the sample.
+	for _, p := range []float64{0, 13.7, 50, 100} {
+		if v, err := Percentile([]float64{42}, p); err != nil || v != 42 {
+			t.Errorf("single-sample Percentile(p=%v) = %v, %v; want 42", p, v, err)
+		}
+	}
+	// NaN p must be rejected: it fails no ordered comparison, so the
+	// old range check let it through to a garbage rank.
+	if _, err := Percentile(xs, math.NaN()); err == nil {
+		t.Error("Percentile(NaN p) should error")
+	}
+	// NaN samples are rejected with the typed error, like results.DB.Add.
+	for _, bad := range [][]float64{
+		{math.NaN()},
+		{1, math.NaN(), 3},
+		{math.NaN(), math.NaN()},
+	} {
+		if _, err := Percentile(bad, 50); !errors.Is(err, ErrNaN) {
+			t.Errorf("Percentile(%v) error = %v, want ErrNaN", bad, err)
+		}
+	}
+	// Median and MAD ride on Percentile and inherit the rejection.
+	if _, err := Median([]float64{math.NaN(), 1}); !errors.Is(err, ErrNaN) {
+		t.Errorf("Median(NaN,1) error = %v, want ErrNaN", err)
+	}
+	if _, err := MAD([]float64{math.NaN(), 1}); !errors.Is(err, ErrNaN) {
+		t.Errorf("MAD(NaN,1) error = %v, want ErrNaN", err)
+	}
+}
+
+// Property: P0/P100 equal Min/Max exactly (not approximately) for any
+// NaN-free sample set.
+func TestQuickPercentileExtremes(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		p0, e0 := Percentile(xs, 0)
+		p100, e100 := Percentile(xs, 100)
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		return e0 == nil && e100 == nil && p0 == mn && p100 == mx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Zero, negative and NaN tolerances have pinned semantics: zero means
+// exact equality; negative and NaN clamp to zero instead of inverting
+// the comparison (a negative tol classified even identical neighbors
+// as different).
+func TestPlateausToleranceClamping(t *testing.T) {
+	ys := []float64{5, 5, 5, 7, 7}
+	want := []Plateau{{Start: 0, End: 3, Level: 5}, {Start: 3, End: 5, Level: 7}}
+	for _, tol := range []struct{ rel, abs float64 }{
+		{0, 0},
+		{-0.25, -2},
+		{math.NaN(), math.NaN()},
+		{-1e300, 0},
+	} {
+		ps := Plateaus(ys, tol.rel, tol.abs)
+		if len(ps) != len(want) {
+			t.Fatalf("Plateaus(tol=%+v) = %v, want %v", tol, ps, want)
+		}
+		for i := range want {
+			if ps[i] != want[i] {
+				t.Errorf("Plateaus(tol=%+v)[%d] = %+v, want %+v", tol, i, ps[i], want[i])
+			}
+		}
+	}
+	// MergePlateaus: negative/NaN relTol merges only exactly-equal levels.
+	ps := []Plateau{{0, 2, 10}, {2, 4, 10}, {4, 6, 11}}
+	for _, rel := range []float64{0, -0.3, math.NaN()} {
+		got := MergePlateaus(ps, rel)
+		if len(got) != 2 || got[0] != (Plateau{0, 4, 10}) || got[1] != (Plateau{4, 6, 11}) {
+			t.Errorf("MergePlateaus(relTol=%v) = %v, want exact-equality merge", rel, got)
+		}
+	}
+}
+
+// A descending (or negative-valued) staircase must segment like its
+// ascending mirror: the relative tolerance is taken against the level's
+// magnitude, where the raw product level*relTol used to go negative.
+func TestPlateausDescendingAndNegative(t *testing.T) {
+	up := []float64{5, 5.1, 4.9, 50, 51, 49, 300, 305, 295}
+	down := make([]float64, len(up))
+	neg := make([]float64, len(up))
+	for i, v := range up {
+		down[len(up)-1-i] = v
+		neg[i] = -v
+	}
+	nUp := len(Plateaus(up, 0.10, 0.5))
+	if nDown := len(Plateaus(down, 0.10, 0.5)); nDown != nUp {
+		t.Errorf("descending staircase: %d plateaus, ascending %d", nDown, nUp)
+	}
+	if nNeg := len(Plateaus(neg, 0.10, 0.5)); nNeg != nUp {
+		t.Errorf("negated staircase: %d plateaus, ascending %d", nNeg, nUp)
+	}
+}
+
+// A monotone ramp — what the planner's coarse pass sees across a
+// hierarchy transition — must still partition the input contiguously
+// even though running-mean chaining can stretch plateaus along the
+// slope; and with zero tolerance every distinct sample is its own
+// plateau.
+func TestPlateausMonotoneRamp(t *testing.T) {
+	ramp := make([]float64, 32)
+	for i := range ramp {
+		ramp[i] = float64(i * i)
+	}
+	ps := Plateaus(ramp, 0.25, 2)
+	if ps[0].Start != 0 || ps[len(ps)-1].End != len(ramp) {
+		t.Fatalf("ramp plateaus do not cover input: %v", ps)
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Start != ps[i-1].End {
+			t.Fatalf("gap between ramp plateaus %d and %d", i-1, i)
+		}
+	}
+	exact := Plateaus([]float64{1, 2, 3, 4}, 0, 0)
+	if len(exact) != 4 {
+		t.Errorf("zero-tolerance ramp: %d plateaus, want one per distinct sample", len(exact))
+	}
+	// Single-point series: one plateau covering the point, any tol.
+	one := Plateaus([]float64{-3}, -1, math.NaN())
+	if len(one) != 1 || one[0] != (Plateau{0, 1, -3}) {
+		t.Errorf("single-point plateaus = %v", one)
+	}
+}

@@ -17,7 +17,11 @@
 //   - the normalized-options fingerprint (store.Fingerprint), with
 //     SweepShards neutralized first — sharding a sweep is proven
 //     byte-identical at any shard count, so it must not split the key
-//     space;
+//     space. SweepMode is deliberately NOT neutralized: adaptive
+//     sweeps produce different bytes (synthetic interpolated points,
+//     sweep.* attrs) than exhaustive ones, so the two modes get
+//     disjoint key spaces and a warm cache from one mode can never
+//     poison a run in the other;
 //   - the quality-gate parameters (MaxRSD, QualityRetries): the gate
 //     stamps quality.* attrs into accepted entries, so enabling it
 //     changes result bytes;

@@ -181,6 +181,43 @@ func TestSweepShardsNeutralized(t *testing.T) {
 	}
 }
 
+// TestSweepModeSplitsKeys proves the opposite of shard neutrality for
+// the sweep mode: adaptive results carry synthetic points and sweep.*
+// attrs an exhaustive database never contains, so entries warmed in
+// one mode must never serve the other. The mode rides the options
+// fingerprint, giving the two modes disjoint key spaces by
+// construction — in both directions, at any shard count.
+func TestSweepModeSplitsKeys(t *testing.T) {
+	dir := t.TempDir()
+	m := simName(t, 0)
+	ex := mustOpen(t, dir, core.Options{}, Config{})
+	if err := ex.Store(testRecord(m, "mem_hier")); err != nil {
+		t.Fatal(err)
+	}
+	ad := mustOpen(t, dir, core.Options{SweepMode: core.SweepAdaptive}, Config{})
+	if _, ok := ad.Lookup(m, "mem_hier"); ok {
+		t.Fatal("adaptive run hit an exhaustive-mode fragment")
+	}
+	if err := ad.Store(testRecord(m, "ext_memvar")); err != nil {
+		t.Fatal(err)
+	}
+	ex2 := mustOpen(t, dir, core.Options{}, Config{})
+	if _, ok := ex2.Lookup(m, "ext_memvar"); ok {
+		t.Fatal("exhaustive run hit an adaptive-mode fragment")
+	}
+	// Explicit exhaustive and the default empty mode normalize to the
+	// same fingerprint, so they share keys.
+	exExplicit := mustOpen(t, dir, core.Options{SweepMode: core.SweepExhaustive}, Config{})
+	if _, ok := exExplicit.Lookup(m, "mem_hier"); !ok {
+		t.Fatal("explicit exhaustive mode split the key space from the default")
+	}
+	// Shard count still shares keys within the adaptive mode.
+	ad4 := mustOpen(t, dir, core.Options{SweepMode: core.SweepAdaptive, SweepShards: 4}, Config{})
+	if _, ok := ad4.Lookup(m, "ext_memvar"); !ok {
+		t.Fatal("sweep shard count split the adaptive key space")
+	}
+}
+
 // TestCorruptFragmentQuarantined flips one payload byte and proves the
 // lookup misses, the fragment lands in quarantine/ (not deleted), and
 // a recompute-and-store round trip heals the cache.

@@ -54,6 +54,19 @@ type Machine = core.Machine
 // selects the paper's defaults (8MB regions, 1000 files, ...).
 type Options = core.Options
 
+// SweepMode selects how point sweeps cover their grids; see
+// SweepExhaustive and SweepAdaptive.
+type SweepMode = core.SweepMode
+
+// Sweep coverage modes. Exhaustive measures every grid point and is
+// the byte-stable default; adaptive measures a coarse pass plus
+// refinement around detected transitions and interpolates plateau
+// interiors, marking synthetic points in entry attributes.
+const (
+	SweepExhaustive = core.SweepExhaustive
+	SweepAdaptive   = core.SweepAdaptive
+)
+
 // Experiment ties one of the paper's tables or figures to the code
 // that regenerates it.
 type Experiment = core.Experiment

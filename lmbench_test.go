@@ -105,6 +105,57 @@ func TestFacadeExtendedAndAutoSize(t *testing.T) {
 	}
 }
 
+// TestWithSweepModeOrderIndependent pins the builder contract for
+// WithSweepMode: it composes with WithOptions in either order, marks
+// the produced entries, and moves the run to a distinct fingerprint
+// (and therefore RunID / unit-cache key space) from an exhaustive run
+// of the same options.
+func TestWithSweepModeOrderIndependent(t *testing.T) {
+	run := func(options ...Option) *Report {
+		t.Helper()
+		m, err := NewSimMachine("Linux/i686")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := New(append(options,
+			WithMachine(m), WithOnly("figure1", "table6"))...).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	before := run(WithSweepMode(SweepAdaptive), WithOptions(exampleOpts()))
+	after := run(WithOptions(exampleOpts()), WithSweepMode(SweepAdaptive))
+	exhaustive := run(WithOptions(exampleOpts()))
+
+	var a, b bytes.Buffer
+	_ = before.DB.Encode(&a)
+	_ = after.DB.Encode(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("WithSweepMode before and after WithOptions produced different databases")
+	}
+	marked := false
+	for _, e := range before.DB.Entries() {
+		if e.Attrs["sweep.mode"] == string(SweepAdaptive) {
+			marked = true
+		}
+	}
+	if !marked {
+		t.Error("adaptive run produced no sweep.mode-marked entries")
+	}
+	for _, e := range exhaustive.DB.Entries() {
+		if e.Attrs["sweep.mode"] != "" {
+			t.Errorf("exhaustive entry %s carries sweep.mode=%q", e.Benchmark, e.Attrs["sweep.mode"])
+		}
+	}
+	if before.RunID == exhaustive.RunID {
+		t.Error("adaptive and exhaustive runs share a RunID — the mode is missing from the fingerprint")
+	}
+	if before.RunID != after.RunID {
+		t.Error("option ordering changed the RunID")
+	}
+}
+
 // exampleOpts shrinks the workloads so the examples run in a moment.
 func exampleOpts() Options {
 	return Options{

@@ -67,6 +67,11 @@ func NewTraceSink(w io.Writer) *TraceSink { return obs.NewTraceSink(w) }
 // spins, clock reads) into reg.
 func RegisterHarness(reg *Registry) { obs.RegisterHarness(reg) }
 
+// RegisterSweepPlanner exports the adaptive sweep planner's decision
+// counters (grid points measured vs skipped) into reg. Both stay zero
+// unless a run uses SweepAdaptive.
+func RegisterSweepPlanner(reg *Registry) { obs.RegisterSweepPlanner(reg) }
+
 // RegisterJournal exports journal writer activity into reg.
 func RegisterJournal(reg *Registry, jw *core.JournalWriter) { obs.RegisterJournal(reg, jw) }
 
