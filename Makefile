@@ -4,7 +4,7 @@ GO ?= go
 #   make chaos LMBENCH_CHAOS_SEED=99
 LMBENCH_CHAOS_SEED ?= 1
 
-.PHONY: all build vet test race chaos chaos-net verify bench bench-smoke serve-smoke fleet-smoke store-smoke cache-smoke sweep-smoke fuzz-smoke profile
+.PHONY: all build vet test race chaos chaos-net verify bench bench-smoke serve-smoke fleet-smoke store-smoke cache-smoke sweep-smoke calibrate-smoke fuzz-smoke profile
 
 # Benchmarks recorded in BENCH_pr3.json: the Figure-1 sweep plus the
 # memory-heavy tables (the simulator hot paths), and the simmem
@@ -31,7 +31,7 @@ test:
 # HTTP-cache, drain and chaos-transport suites) under the race
 # detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/timing/... ./internal/faults/... ./internal/netfaults/... ./internal/obs/... ./internal/fleet/... ./internal/store/... ./internal/unitcache/...
+	$(GO) test -race ./internal/core/... ./internal/timing/... ./internal/faults/... ./internal/netfaults/... ./internal/obs/... ./internal/fleet/... ./internal/store/... ./internal/unitcache/... ./internal/calibrate/...
 
 # chaos runs the fault-injection scheduler suite on its own, race-
 # enabled and verbose, with a fixed seed for reproducible streams.
@@ -124,6 +124,15 @@ cache-smoke:
 sweep-smoke:
 	GO="$(GO)" ./scripts/sweep_smoke.sh
 
+# calibrate-smoke proves the machine catalog and the calibrator
+# through the CLI: a -profile file run is byte-identical to the
+# compiled-in profile's run, and a perturbed profile fitted against a
+# measured target database recovers a profile that reproduces the
+# target; part of verify so the declarative-profile and calibration
+# wiring cannot silently rot.
+calibrate-smoke:
+	GO="$(GO)" ./scripts/calibrate_smoke.sh
+
 # fuzz-smoke runs each results-codec and store corrupt-shard fuzz
 # target briefly over its seed corpus — a CI-sized slice of
 # `go test -fuzz`.
@@ -135,6 +144,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzIngestStream$$' -fuzztime 2s ./internal/store/
 	$(GO) test -run '^$$' -fuzz '^FuzzScrub$$' -fuzztime 2s ./internal/store/
 	$(GO) test -run '^$$' -fuzz '^FuzzFragment$$' -fuzztime 2s ./internal/unitcache/
+	$(GO) test -run '^$$' -fuzz '^FuzzProfileDecode$$' -fuzztime 2s ./internal/machines/
 
 # profile captures pprof CPU and heap profiles of a representative
 # simulated run; inspect with `go tool pprof cpu.pprof`.
@@ -150,7 +160,8 @@ profile:
 # serial-identical bytes, the results service must
 # ingest/serve/revalidate end to end, a warm cached run must be
 # byte-identical while executing nothing, the adaptive sweep planner
-# must save points and refuse unsafe compositions, the codecs, scrub
+# must save points and refuse unsafe compositions, the profile
+# catalog and calibrator must round-trip and converge, the codecs, scrub
 # and cache fragments must survive a fuzz smoke, and the distributed
 # layer must converge through wire chaos and a mid-ingest kill.
-verify: build vet test race bench-smoke serve-smoke fleet-smoke store-smoke cache-smoke sweep-smoke fuzz-smoke chaos-net
+verify: build vet test race bench-smoke serve-smoke fleet-smoke store-smoke cache-smoke sweep-smoke calibrate-smoke fuzz-smoke chaos-net

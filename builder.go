@@ -8,8 +8,10 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/calibrate"
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/machines"
 	"repro/internal/paper"
 	istore "repro/internal/store"
 	"repro/internal/unitcache"
@@ -42,6 +44,11 @@ type Bench struct {
 	cacheReadOnly  bool
 	cacheMaxBytes  int64
 	cacheObs       CacheObserver
+	catalog        *machines.Catalog
+	calibTarget    *calibrate.Target
+	calibOpts      calibrate.Options
+	optsSet        bool
+	errs           []error
 }
 
 // Option configures a Bench; see the With* constructors.
@@ -76,7 +83,7 @@ func WithMachine(m Machine) Option {
 // WithOptions sets harness settings and workload sizes (the zero
 // value selects the paper's defaults).
 func WithOptions(o Options) Option {
-	return func(b *Bench) { b.opts = o }
+	return func(b *Bench) { b.opts, b.optsSet = o, true }
 }
 
 // WithSink adds one event sink. Repeat to fan the stream out; every
@@ -226,6 +233,52 @@ func WithSweepMode(mode SweepMode) Option {
 	return func(b *Bench) { b.sweepMode = mode }
 }
 
+// WithProfileFile extends the run's machine catalog with profiles
+// loaded from path — one canonical profile JSON file, or a directory
+// of them. Repeat for several paths; later loads shadow earlier names.
+// The catalog is what resolves machine names everywhere the run needs
+// one: fleet unit dispatch (non-built-in profiles ship inline on the
+// unit frame) and unit-cache keys (a profile's fingerprint keys its
+// fragments). Load failures surface from Run.
+func WithProfileFile(path string) Option {
+	return func(b *Bench) {
+		if b.catalog == nil {
+			b.catalog = machines.Default()
+		}
+		if err := b.catalog.LoadPath(path); err != nil {
+			b.errs = append(b.errs, err)
+		}
+	}
+}
+
+// WithCatalog replaces the run's machine catalog wholesale; see
+// WithProfileFile for what the catalog resolves. A nil catalog means
+// the shipped default.
+func WithCatalog(cat *Catalog) Option {
+	return func(b *Bench) { b.catalog = cat }
+}
+
+// WithCalibrateTarget turns the run into a calibration: instead of
+// benchmarking, Run fits the single configured simulated machine's
+// profile until the suite reproduces the target's measurements, and
+// returns the fitted profile in Report.Calibration (the Report's DB is
+// the fit's final verification run). Requires exactly one WithMachine,
+// and it must be a simulated machine. WithOptions sets the candidate
+// runs' suite options, WithMaxRSD their quality gate, WithUnitCache
+// the per-candidate cache, and sinks see the calibration event stream.
+func WithCalibrateTarget(t CalibrationTarget) Option {
+	return func(b *Bench) { b.calibTarget = &t }
+}
+
+// WithCalibrateOptions overrides the fitter's own knobs — tolerance,
+// evaluation budget, per-parameter concurrency. Zero fields keep
+// their defaults, and run-level settings (WithOptions, WithMaxRSD,
+// WithUnitCache, sinks) still apply where the corresponding
+// CalibrationOptions field is unset.
+func WithCalibrateOptions(o CalibrationOptions) Option {
+	return func(b *Bench) { b.calibOpts = o }
+}
+
 // WithRunLabel tags the run with a human-readable label
 // ("nightly-2026-08-08"). Labels are descriptive, not part of the run
 // key, and stored runs can be queried by them.
@@ -247,6 +300,10 @@ type Report struct {
 	// was configured; nil otherwise. A fully-warm run shows
 	// Misses == 0.
 	Cache *CacheStats
+	// Calibration holds the fitted profile and per-parameter trace
+	// when the run was a WithCalibrateTarget calibration; nil on
+	// normal benchmark runs.
+	Calibration *CalibrationResult
 
 	manifest istore.Manifest
 }
@@ -273,6 +330,9 @@ func (r *Report) Publish(ctx context.Context, s *Store) (Manifest, error) {
 // Run executes the configured benchmark and returns its Report. The
 // context cancels or deadlines the run between measurement batches.
 func (b *Bench) Run(ctx context.Context) (*Report, error) {
+	if len(b.errs) > 0 {
+		return nil, errors.Join(b.errs...)
+	}
 	if len(b.machines) == 0 {
 		return nil, errors.New("lmbench: no machines configured (use WithMachine)")
 	}
@@ -282,6 +342,9 @@ func (b *Bench) Run(ctx context.Context) (*Report, error) {
 	// ordering relative to WithOptions.
 	if b.sweepMode != "" {
 		b.opts.SweepMode = b.sweepMode
+	}
+	if b.calibTarget != nil {
+		return b.runCalibration(ctx)
 	}
 	var only map[string]bool
 	if len(b.only) > 0 {
@@ -304,12 +367,16 @@ func (b *Bench) Run(ctx context.Context) (*Report, error) {
 
 	var cache *unitcache.Cache
 	if b.cacheDir != "" {
-		cache, err = unitcache.Open(b.cacheDir, b.opts, unitcache.Config{
+		cfg := unitcache.Config{
 			ReadOnly: b.cacheReadOnly,
 			MaxBytes: b.cacheMaxBytes,
 			MaxRSD:   b.maxRSD, QualityRetries: b.qualityRetries,
 			Obs: b.cacheObs,
-		})
+		}
+		if cat := b.catalog; cat != nil {
+			cfg.Resolve = cat.ByName
+		}
+		cache, err = unitcache.Open(b.cacheDir, b.opts, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -317,12 +384,13 @@ func (b *Bench) Run(ctx context.Context) (*Report, error) {
 
 	var skipped map[string][]string
 	if b.fleetWorkers > 0 || len(b.fleetConnect) > 0 {
-		names, err := fleet.MachineNames(b.machines)
+		names, err := fleet.MachineNamesIn(b.catalog, b.machines)
 		if err != nil {
 			return nil, err
 		}
 		coord := &fleet.Coordinator{
 			Machines: names,
+			Catalog:  b.catalog,
 			Opts:     b.opts,
 			Only:     only,
 			Extended: b.extended,
@@ -388,6 +456,43 @@ func (b *Bench) Run(ctx context.Context) (*Report, error) {
 			return nil, fmt.Errorf("lmbench: publish to %s: %w", b.publishAddr, err)
 		}
 		rep.RunID = m.RunID
+	}
+	return rep, nil
+}
+
+// runCalibration is Run's WithCalibrateTarget branch: fit the single
+// configured simulated machine's profile to the target and report the
+// verification run as the database.
+func (b *Bench) runCalibration(ctx context.Context) (*Report, error) {
+	if len(b.machines) != 1 {
+		return nil, errors.New("lmbench: calibration takes exactly one machine (the base profile)")
+	}
+	type profiled interface{ Profile() machines.Profile }
+	pm, ok := b.machines[0].(profiled)
+	if !ok {
+		return nil, fmt.Errorf("lmbench: calibration requires a simulated machine; %q carries no profile", b.machines[0].Name())
+	}
+	opts := b.calibOpts
+	if opts.Run == nil && b.optsSet {
+		runOpts := b.opts
+		opts.Run = &runOpts
+	}
+	if opts.MaxRSD == 0 {
+		opts.MaxRSD = b.maxRSD
+	}
+	if opts.Events == nil && len(b.sinks) > 0 {
+		opts.Events = b.sinks
+	}
+	if opts.CacheDir == "" {
+		opts.CacheDir = b.cacheDir
+	}
+	res, err := calibrate.Calibrate(ctx, pm.Profile(), *b.calibTarget, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{DB: res.DB, Skipped: map[string][]string{}, Calibration: res}
+	if err := rep.fillManifest(b); err != nil {
+		return nil, err
 	}
 	return rep, nil
 }

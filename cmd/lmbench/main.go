@@ -5,9 +5,16 @@
 // Usage:
 //
 //	lmbench -list                     # available machines and experiments
+//	lmbench -list-machines            # the full machine catalog with provenance
 //	lmbench -machine host             # run on this machine
 //	lmbench -machine 'Linux/i686'     # run on a simulated machine
-//	lmbench -machine all-sim          # run on every simulated machine
+//	lmbench -machine all-sim          # run on every compiled-in simulated machine
+//	lmbench -profile m.json           # add profile file (or dir) to the catalog
+//	lmbench -dump-profile 'Linux/i586'
+//	                                 # print a profile's canonical JSON
+//	lmbench -calibrate -machine 'Linux/i686' -target paper -emit fitted.json
+//	                                 # fit the profile to target measurements
+//	                                 # (-target paper | run:<ref> | results-db file)
 //	lmbench -only table2,table7      # restrict the experiments
 //	lmbench -parallel 4              # run simulated machines concurrently
 //	lmbench -trace run.jsonl         # structured JSON-lines event trace
@@ -58,6 +65,7 @@ import (
 	"syscall"
 
 	lmbench "repro"
+	"repro/internal/calibrate"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/fleet"
@@ -124,11 +132,28 @@ func run() error {
 		chaosNetFlag    = flag.String("chaos-net", "", "run as a deterministic lossy proxy with this fault plan, e.g. 'seed=1,drop=0.1,trunc=0.05' (see internal/netfaults)")
 		chaosListenFlag = flag.String("chaos-listen", "127.0.0.1:0", "listen address for -chaos-net")
 		chaosTargetFlag = flag.String("chaos-target", "", "forward address for -chaos-net")
+
+		listMachFlag  = flag.Bool("list-machines", false, "list the machine catalog (name, CPU, OS, geometry, provenance), then exit")
+		dumpProfFlag  = flag.String("dump-profile", "", "print a catalog profile's canonical JSON to stdout, then exit")
+		calibrateFlag = flag.Bool("calibrate", false, "fit -machine's profile to -target measurements instead of benchmarking")
+		targetFlag    = flag.String("target", "", "calibration target: 'paper', 'run:<ref>' (with -store), or a results-db file")
+		emitFlag      = flag.String("emit", "", "with -calibrate, write the fitted profile to this file (default stdout)")
 	)
-	var merges, fleetConnect multiFlag
+	var merges, fleetConnect, profilePaths multiFlag
 	flag.Var(&merges, "merge", "preload a results database (repeatable)")
 	flag.Var(&fleetConnect, "fleet-connect", "add a remote worker daemon to the fleet pool (repeatable)")
+	flag.Var(&profilePaths, "profile", "load machine profiles from this JSON file or directory into the catalog (repeatable; later loads shadow earlier names)")
 	flag.Parse()
+
+	// The catalog backs every machine-name resolution below: -machine,
+	// -dump-profile, -calibrate, fleet dispatch, unit-cache keys and
+	// the store daemon's /api/machines.
+	catalog := machines.Default()
+	for _, path := range profilePaths {
+		if err := catalog.LoadPath(path); err != nil {
+			return fmt.Errorf("-profile: %w", err)
+		}
+	}
 
 	if *workerFlag {
 		return fleet.Work(context.Background(), os.Stdin, os.Stdout)
@@ -149,12 +174,28 @@ func run() error {
 		return scrubStore(*storeDirFlag)
 	}
 	if *storeListenFlag != "" {
-		return serveStore(*storeListenFlag, *storeDirFlag, *storeHTTPFlag, *quietFlag)
+		return serveStore(*storeListenFlag, *storeDirFlag, *storeHTTPFlag, catalog, *quietFlag)
 	}
 	if *chaosNetFlag != "" {
 		return serveChaosProxy(*chaosNetFlag, *chaosListenFlag, *chaosTargetFlag, *quietFlag)
 	}
 	fleetMode := *fleetFlag > 0 || len(fleetConnect) > 0
+
+	if *listMachFlag {
+		return machines.RenderList(os.Stdout, catalog)
+	}
+	if *dumpProfFlag != "" {
+		p, ok := catalog.ByName(*dumpProfFlag)
+		if !ok {
+			return fmt.Errorf("unknown machine %q (try -list-machines)", *dumpProfFlag)
+		}
+		b, err := machines.EncodeProfile(p)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(b)
+		return err
+	}
 
 	if *listFlag {
 		fmt.Println("simulated machines:")
@@ -171,6 +212,11 @@ func run() error {
 			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
 		}
 		return nil
+	}
+
+	if *calibrateFlag {
+		return runCalibrate(catalog, *machineFlag, *targetFlag, *emitFlag,
+			*storeFlag, *cacheFlag, *rsdFlag, *quietFlag)
 	}
 
 	db := &results.DB{}
@@ -226,9 +272,9 @@ func run() error {
 			targets = append(targets, m)
 		}
 	default:
-		p, ok := machines.ByName(*machineFlag)
+		p, ok := catalog.ByName(*machineFlag)
 		if !ok {
-			return fmt.Errorf("unknown machine %q (try -list)", *machineFlag)
+			return fmt.Errorf("unknown machine %q (try -list-machines)", *machineFlag)
 		}
 		m, err := machines.Build(p)
 		if err != nil {
@@ -407,7 +453,8 @@ func run() error {
 			ReadOnly: *cacheROFlag,
 			MaxBytes: *cacheMaxFlag,
 			MaxRSD:   *rsdFlag, QualityRetries: *qretryFlag,
-			Obs: cacheObs,
+			Obs:     cacheObs,
+			Resolve: catalog.ByName,
 		})
 		if err != nil {
 			return fmt.Errorf("-unit-cache: %w", err)
@@ -416,12 +463,13 @@ func run() error {
 
 	var skipped map[string][]string
 	if fleetMode {
-		names, err := fleet.MachineNames(targets)
+		names, err := fleet.MachineNamesIn(catalog, targets)
 		if err != nil {
 			return err
 		}
 		coord := &fleet.Coordinator{
 			Machines:       names,
+			Catalog:        catalog,
 			Opts:           opts,
 			Only:           only,
 			Extended:       *extFlag,
@@ -579,7 +627,7 @@ func openJournal(journalPath, resumePath string) (*core.JournalWriter, *core.Jou
 // startup — a daemon that crashed mid-ingest comes back with partial
 // writes swept and any corruption quarantined — and SIGINT/SIGTERM
 // drain in-flight publishes before the process exits.
-func serveStore(listenAddr, dir, httpAddr string, quiet bool) error {
+func serveStore(listenAddr, dir, httpAddr string, catalog *machines.Catalog, quiet bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	s, err := lmbench.OpenStore(dir)
@@ -602,7 +650,7 @@ func serveStore(listenAddr, dir, httpAddr string, quiet bool) error {
 	}
 	registry := lmbench.NewRegistry()
 	if httpAddr != "" {
-		srv := &lmbench.StoreServer{Store: s, Registry: registry}
+		srv := &lmbench.StoreServer{Store: s, Registry: registry, Catalog: catalog}
 		addr, stopServe, err := srv.Start(ctx, httpAddr)
 		if err != nil {
 			return fmt.Errorf("-store-http: %w", err)
@@ -613,6 +661,90 @@ func serveStore(listenAddr, dir, httpAddr string, quiet bool) error {
 		}
 	}
 	return lmbench.ServeStoreIngestWith(ctx, ln, s, lmbench.IngestOptions{Registry: registry})
+}
+
+// runCalibrate is the -calibrate mode: resolve the base profile and
+// the target measurements, fit, and emit the fitted profile. The
+// convergence trace streams to stderr as fit lines; the fitted profile
+// goes to -emit (or stdout) in the canonical encoding -profile reads
+// back.
+func runCalibrate(catalog *machines.Catalog, machineName, targetSpec, emit, storeDir, cacheDir string, rsd float64, quiet bool) error {
+	if machineName == "host" || machineName == "all-sim" {
+		return fmt.Errorf("-calibrate fits one simulated profile; set -machine to a catalog machine name")
+	}
+	base, ok := catalog.ByName(machineName)
+	if !ok {
+		return fmt.Errorf("unknown machine %q (try -list-machines)", machineName)
+	}
+	if targetSpec == "" {
+		return fmt.Errorf("-calibrate requires -target: 'paper', 'run:<ref>' (with -store), or a results-db file")
+	}
+	var target calibrate.Target
+	var err error
+	switch {
+	case targetSpec == "paper":
+		target, err = calibrate.FromPaper(machineName)
+	case strings.HasPrefix(targetSpec, "run:"):
+		if storeDir == "" {
+			return fmt.Errorf("-target run:<ref> needs -store <dir> to resolve the run")
+		}
+		s, serr := lmbench.OpenStore(storeDir)
+		if serr != nil {
+			return serr
+		}
+		m, serr := s.Resolve(strings.TrimPrefix(targetSpec, "run:"))
+		if serr != nil {
+			return serr
+		}
+		var db *results.DB
+		if _, db, serr = s.DB(m.RunID); serr != nil {
+			return serr
+		}
+		target, err = calibrate.FromDB(db, machineName)
+	default:
+		target, err = calibrate.FromFile(targetSpec, machineName)
+	}
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	copts := calibrate.Options{MaxRSD: rsd, CacheDir: cacheDir}
+	if !quiet {
+		copts.Events = core.NewTextSink(os.Stderr)
+	}
+	res, err := calibrate.Calibrate(ctx, base, target, copts)
+	if err != nil {
+		return err
+	}
+	if emit != "" {
+		if err := machines.WriteProfileFile(emit, res.Profile); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "wrote fitted profile to %s\n", emit)
+		}
+	} else {
+		b, err := machines.EncodeProfile(res.Profile)
+		if err != nil {
+			return err
+		}
+		if _, err := os.Stdout.Write(b); err != nil {
+			return err
+		}
+	}
+	if !res.Converged {
+		n := 0
+		for _, pr := range res.Params {
+			if pr.Converged {
+				n++
+			}
+		}
+		return fmt.Errorf("calibration converged on %d/%d parameters (budget %d evals spent)",
+			n, len(res.Params), res.Evals)
+	}
+	return nil
 }
 
 // scrubStore verifies the store at dir on demand and prints what was

@@ -1,0 +1,67 @@
+package lmbench_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	lmbench "repro"
+	"repro/internal/core"
+	"repro/internal/machines"
+	"repro/internal/results"
+)
+
+// TestProfileFileByteIdentical is the declarative-profile contract: a
+// profile written to a JSON file, loaded back through the catalog and
+// run through the full suite produces a database byte-identical to the
+// compiled-in profile's run. The profile file is therefore a complete,
+// portable definition of a simulated machine — nothing observable
+// lives outside the canonical encoding.
+func TestProfileFileByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite run is slow; skipped with -short")
+	}
+	const name = "Linux/i586"
+	compiled, ok := machines.ByName(name)
+	if !ok {
+		t.Fatalf("%s not in compiled catalog", name)
+	}
+
+	path := filepath.Join(t.TempDir(), "i586.json")
+	if err := machines.WriteProfileFile(path, compiled); err != nil {
+		t.Fatal(err)
+	}
+	cat := lmbench.NewCatalog()
+	loaded, err := cat.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(p machines.Profile) []byte {
+		m, err := machines.Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := &results.DB{}
+		s := &core.Suite{M: m, Opts: goldenOpts()}
+		if _, err := s.Run(context.Background(), db); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := db.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	want := run(compiled)
+	got := run(loaded)
+	if !bytes.Equal(want, got) {
+		dir := t.TempDir()
+		_ = os.WriteFile(filepath.Join(dir, "compiled.db"), want, 0o644)
+		_ = os.WriteFile(filepath.Join(dir, "loaded.db"), got, 0o644)
+		t.Fatalf("file-loaded %s run differs from compiled-in run (dumps in %s)", name, dir)
+	}
+}

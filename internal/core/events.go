@@ -50,6 +50,21 @@ const (
 	// from the content-addressed unit cache (`lmbench -unit-cache`)
 	// instead of being executed. Entries counts the restored entries.
 	ExperimentCached EventKind = "experiment_cached"
+	// CalibrateStarted opens a calibration run (`lmbench -calibrate`):
+	// Machine names the profile being fitted and Entries the number of
+	// parameters the fitter will descend on.
+	CalibrateStarted EventKind = "calibrate_started"
+	// CalibrateParam reports one fitted parameter: Experiment carries
+	// the parameter name, Title the benchmark it was fitted against,
+	// Attempt the number of candidate evaluations spent, Spread the
+	// final relative error against the target, and Err the reason when
+	// the parameter failed to converge.
+	CalibrateParam EventKind = "calibrate_param"
+	// CalibrateFinished closes a calibration run: Entries counts the
+	// converged parameters, Attempt the total candidate evaluations,
+	// Duration the elapsed wall time, and Err the terminal failure (if
+	// any).
+	CalibrateFinished EventKind = "calibrate_finished"
 )
 
 // Event is one structured record in the run's event stream.
@@ -187,6 +202,24 @@ func (t *TextSink) Event(e Event) {
 	case ExperimentFailed:
 		fmt.Fprintf(t.w, "%sfailed  %-8s after %d attempt(s): %s\n",
 			prefix, e.Experiment, e.Attempt, e.Err)
+	case CalibrateStarted:
+		fmt.Fprintf(t.w, "%scalibrating %s: fitting %d parameter(s)\n",
+			prefix, e.Machine, e.Entries)
+	case CalibrateParam:
+		if e.Err != "" {
+			fmt.Fprintf(t.w, "%sfit      %-16s %s: %s (err %.1f%% after %d evals)\n",
+				prefix, e.Experiment, e.Title, e.Err, e.Spread*100, e.Attempt)
+			return
+		}
+		fmt.Fprintf(t.w, "%sfit      %-16s %s within %.1f%% (%d evals)\n",
+			prefix, e.Experiment, e.Title, e.Spread*100, e.Attempt)
+	case CalibrateFinished:
+		if e.Err != "" {
+			fmt.Fprintf(t.w, "%scalibration failed: %s\n", prefix, e.Err)
+			return
+		}
+		fmt.Fprintf(t.w, "%scalibrated %s: %d parameter(s) converged, %d evals in %s\n",
+			prefix, e.Machine, e.Entries, e.Attempt, e.Duration.Round(time.Millisecond))
 	}
 }
 

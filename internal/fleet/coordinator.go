@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"reflect"
 	"sync"
 	"time"
 
@@ -70,6 +71,12 @@ func nextBackoff(d time.Duration) time.Duration {
 type Coordinator struct {
 	// Machines are the simulated-machine profile names, in merge order.
 	Machines []string
+	// Catalog resolves the names; nil means the shipped default
+	// (compiled built-ins plus embedded data files). Profiles that are
+	// not compiled into the binary are shipped to workers inline on the
+	// unit frame, so a fleet of stock workers can run file-loaded or
+	// calibration-candidate machines.
+	Catalog *machines.Catalog
 	// Opts applies to every unit, exactly as a serial Suite would see
 	// it (SweepShards included — sweep-heavy units additionally shard
 	// their point range across goroutines inside the worker).
@@ -156,8 +163,12 @@ type run struct {
 	opts   core.Options
 	units  []core.WorkUnit
 	groups map[string]core.ExperimentGroup
-	queue  chan int
-	wg     sync.WaitGroup
+	// wireProfiles holds, per machine, the profile to ship on unit
+	// frames (nil entry / missing key = compiled built-in, resolved by
+	// name on the worker).
+	wireProfiles map[string]*machines.Profile
+	queue        chan int
+	wg           sync.WaitGroup
 
 	mu           sync.Mutex
 	res          []unitResult
@@ -197,9 +208,22 @@ func (c *Coordinator) Run(ctx context.Context, db *results.DB) (map[string][]str
 	if len(c.Machines) == 0 {
 		return map[string][]string{}, nil
 	}
+	cat := c.Catalog
+	if cat == nil {
+		cat = machines.Default()
+	}
+	// Profiles outside the compiled catalog travel on the unit frame;
+	// resolve them once up front so every dispatch of a unit ships the
+	// same bytes.
+	wireProfiles := make(map[string]*machines.Profile)
 	for _, name := range c.Machines {
-		if _, ok := machines.ByName(name); !ok {
+		p, ok := cat.ByName(name)
+		if !ok {
 			return nil, fmt.Errorf("fleet: unknown simulated machine %q", name)
+		}
+		if compiled, ok := machines.ByName(name); !ok || !reflect.DeepEqual(compiled, p) {
+			pc := p
+			wireProfiles[name] = &pc
 		}
 	}
 	if c.Workers < 0 {
@@ -226,6 +250,7 @@ func (c *Coordinator) Run(ctx context.Context, db *results.DB) (map[string][]str
 		c: c, ctx: runCtx, cancel: cancel,
 		sink: sinkOrDiscard(c.Events), obs: obsOrNoop(c.Obs),
 		opts: opts, units: units, groups: byKey,
+		wireProfiles: wireProfiles,
 		// Buffered past the total attempt budget so a delayed
 		// re-enqueue never blocks and never races a shutdown.
 		queue:      make(chan int, len(units)*(c.unitRetries()+1)+1),
@@ -552,7 +577,8 @@ func (r *run) driveUnit(w workerConn, i int) error {
 	err := w.send(&wireMsg{
 		Type: msgUnit, V: protoVersion, Seq: u.Seq,
 		Machine: u.Machine, Key: u.Key, IDs: u.IDs,
-		Opts: &r.opts, Extended: r.c.Extended,
+		Profile: r.wireProfiles[u.Machine],
+		Opts:    &r.opts, Extended: r.c.Extended,
 		Timeout: r.c.Timeout, Retries: r.c.Retries, RetryBackoff: r.c.RetryBackoff,
 		MaxRSD: r.c.MaxRSD, QualityRetries: r.c.QualityRetries,
 	})

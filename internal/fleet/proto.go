@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/machines"
 	"repro/internal/results"
 	"repro/internal/rpcx"
 )
@@ -90,6 +91,13 @@ type wireMsg struct {
 	RetryBackoff   time.Duration `json:"retry_backoff,omitempty"`
 	MaxRSD         float64       `json:"max_rsd,omitempty"`
 	QualityRetries int           `json:"quality_retries,omitempty"`
+	// Profile ships the machine's full profile when Machine is not a
+	// compiled-in name (file-loaded or calibration-candidate profiles):
+	// the worker builds from it instead of resolving the name locally.
+	// Omitted for compiled built-ins, so their frames — and the fleet
+	// golden bytes — are unchanged. Optional fields are JSON-compatible
+	// across the protocol version.
+	Profile *machines.Profile `json:"profile,omitempty"`
 
 	// Result fields. Entries round-trip exactly: encoding/json writes
 	// float64s in shortest form that parses back to the same bits, the

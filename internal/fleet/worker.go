@@ -147,7 +147,7 @@ func startHeartbeat(send func(*wireMsg) error) (stop func()) {
 
 // runUnit executes one work unit and returns its result frame.
 func runUnit(ctx context.Context, m *wireMsg, cache map[string]core.Machine, send func(*wireMsg) error) *wireMsg {
-	mach, err := machineFor(m.Machine, cache)
+	mach, err := machineFor(m.Machine, m.Profile, cache)
 	if err != nil {
 		return &wireMsg{Err: err.Error()}
 	}
@@ -174,17 +174,30 @@ func runUnit(ctx context.Context, m *wireMsg, cache map[string]core.Machine, sen
 }
 
 // machineFor resolves a unit's machine name to a built backend,
-// reusing a previous build when the worker has one. Only built-in
-// simulated profiles are resolvable: they rebuild deterministically
-// from their profile, which is what makes a unit's result a function
-// of (machine name, group) alone on any worker.
-func machineFor(name string, cache map[string]core.Machine) (core.Machine, error) {
+// reusing a previous build when the worker has one. Only simulated
+// profiles are resolvable: they rebuild deterministically from their
+// profile, which is what makes a unit's result a function of
+// (machine name, group) alone on any worker. Compiled built-ins and
+// embedded data files resolve by name; anything else (file-loaded or
+// calibration-candidate profiles) arrives inline on the dispatch frame.
+func machineFor(name string, wire *machines.Profile, cache map[string]core.Machine) (core.Machine, error) {
 	if m, ok := cache[name]; ok {
 		return m, nil
 	}
-	p, ok := machines.ByName(name)
-	if !ok {
-		return nil, fmt.Errorf("fleet: unknown simulated machine %q", name)
+	var p machines.Profile
+	switch {
+	case wire != nil:
+		if wire.Name != name {
+			return nil, fmt.Errorf("fleet: unit machine %q carries profile %q", name, wire.Name)
+		}
+		p = *wire
+	default:
+		var ok bool
+		if p, ok = machines.ByName(name); !ok {
+			if p, ok = machines.Default().ByName(name); !ok {
+				return nil, fmt.Errorf("fleet: unknown simulated machine %q", name)
+			}
+		}
 	}
 	m, err := machines.Build(p)
 	if err != nil {
@@ -220,6 +233,26 @@ func MachineNames(ms []core.Machine) ([]string, error) {
 		name := m.Name()
 		if _, ok := machines.ByName(name); !ok {
 			return nil, fmt.Errorf("fleet: machine %q is not a built-in simulated profile; fleet execution supports simulated machines only", name)
+		}
+		names[i] = name
+	}
+	return names, nil
+}
+
+// MachineNamesIn is MachineNames resolved against a catalog: any
+// profile the catalog knows (built-in, file-loaded or calibrated) is
+// fleet-dispatchable, because the coordinator ships non-compiled
+// profiles inline on the unit frame. A nil catalog means the shipped
+// default.
+func MachineNamesIn(cat *machines.Catalog, ms []core.Machine) ([]string, error) {
+	if cat == nil {
+		cat = machines.Default()
+	}
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		name := m.Name()
+		if _, ok := cat.ByName(name); !ok {
+			return nil, fmt.Errorf("fleet: machine %q is not a catalog profile; fleet execution supports simulated machines only", name)
 		}
 		names[i] = name
 	}

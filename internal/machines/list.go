@@ -1,0 +1,58 @@
+package machines
+
+import (
+	"fmt"
+	"io"
+)
+
+// RenderList writes a human-readable listing of the catalog — one line
+// per profile with name, CPU, OS, a geometry summary and provenance —
+// in the catalog's sorted order. It is the `lmbench -list-machines`
+// format.
+func RenderList(w io.Writer, c *Catalog) error {
+	if _, err := fmt.Fprintf(w, "%-22s %-24s %-14s %-9s %s\n",
+		"NAME", "CPU", "OS", "SOURCE", "GEOMETRY"); err != nil {
+		return err
+	}
+	for _, e := range c.Entries() {
+		p := e.Profile
+		if _, err := fmt.Fprintf(w, "%-22s %-24s %-14s %-9s %s\n",
+			p.Name, p.CPUName, p.OSName, e.Source, GeometrySummary(p)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GeometrySummary renders a profile's memory hierarchy in one phrase:
+// per-level cache sizes, the line size and the memory latency.
+func GeometrySummary(p Profile) string {
+	s := ""
+	for i, c := range p.Caches {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("L%d %s", i+1, sizeStr(c.Size))
+	}
+	if len(p.Caches) > 0 {
+		s += fmt.Sprintf(" /%dB line", p.Caches[0].LineSize)
+	}
+	if p.MemLatNS > 0 {
+		s += fmt.Sprintf(", mem %gns", p.MemLatNS)
+	}
+	return s
+}
+
+// sizeStr renders a byte count in the K/M/G convention cache sizes use.
+func sizeStr(b int64) string {
+	switch {
+	case b >= 1<<30 && b%(1<<30) == 0:
+		return fmt.Sprintf("%dG", b>>30)
+	case b >= 1<<20 && b%(1<<20) == 0:
+		return fmt.Sprintf("%dM", b>>20)
+	case b >= 1<<10 && b%(1<<10) == 0:
+		return fmt.Sprintf("%dK", b>>10)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,60 @@
+package machines
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzProfileDecode fuzzes the strict profile decoder: it must never
+// panic, and any input it accepts must reach the encode fixed point
+// (encode → decode → encode reproduces the bytes), matching the
+// results/store codec fuzz pattern.
+func FuzzProfileDecode(f *testing.F) {
+	for _, e := range Default().Entries() {
+		data, err := EncodeProfile(e.Profile)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"Name":"x","MHz":1e308}`))
+	f.Add([]byte(`{"Name":"x","Caches":[{"Size":-1}]}`))
+	f.Add([]byte(`{"Name":"x"} {"Name":"y"}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte("\x00\xff"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeProfile(data)
+		if err != nil {
+			return
+		}
+		one, err := EncodeProfile(p)
+		if err != nil {
+			t.Fatalf("accepted profile failed to encode: %v", err)
+		}
+		p2, err := DecodeProfile(one)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v", err)
+		}
+		two, err := EncodeProfile(p2)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(one, two) {
+			t.Fatalf("encode is not a fixed point:\n%s\nvs\n%s", one, two)
+		}
+		fp1, err := p.Fingerprint()
+		if err != nil {
+			t.Fatalf("fingerprint: %v", err)
+		}
+		fp2, err := p2.Fingerprint()
+		if err != nil {
+			t.Fatalf("fingerprint after round trip: %v", err)
+		}
+		if fp1 != fp2 {
+			t.Fatal("fingerprint changed across round trip")
+		}
+	})
+}

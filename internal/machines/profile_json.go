@@ -1,0 +1,129 @@
+package machines
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"reflect"
+)
+
+// Canonical JSON encoding for Profile.
+//
+// The canonical form is exactly what encoding/json produces for the
+// struct: fields in declaration order (Profile holds no maps), float64
+// values in Go's shortest round-trip form. That is the same encoding
+// Fingerprint hashes, so by construction
+//
+//	DecodeProfile(EncodeProfile(p)) == p
+//
+// field for field, and a decoded profile fingerprints identically to
+// the value it was encoded from — a profile loaded from its JSON file
+// shares unit-cache keys with the compiled-in equivalent.
+//
+// Decoding is strict: unknown fields are rejected (a typo'd field name
+// must not silently produce a default-valued machine), trailing data is
+// rejected, and every float must be finite — NaN and infinities have no
+// JSON representation and no physical meaning here, so they are refused
+// on the encode side too rather than producing an encode error deep in
+// a cache-key computation later.
+
+// EncodeProfile renders p in the canonical indented JSON form used for
+// catalog data files (*.json under -profile dirs). It fails on
+// non-finite floats and on profiles without a name.
+func EncodeProfile(p Profile) ([]byte, error) {
+	if err := ValidateProfile(p); err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("machines: encode %s: %w", p.Name, err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeProfile parses one canonical profile document. It never panics
+// on arbitrary input (fuzzed by FuzzProfileDecode) and rejects unknown
+// fields, trailing data, nameless profiles and non-finite floats.
+func DecodeProfile(data []byte) (Profile, error) {
+	var p Profile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Profile{}, fmt.Errorf("machines: decode profile: %w", err)
+	}
+	// A second document (or any non-space trailing bytes) means the
+	// input is not one profile; refuse rather than silently ignore.
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return Profile{}, fmt.Errorf("machines: decode profile: trailing data after document")
+	}
+	if err := ValidateProfile(p); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// ValidateProfile checks the invariants the canonical encoding
+// guarantees: a non-empty name and finite float fields throughout.
+func ValidateProfile(p Profile) error {
+	if p.Name == "" {
+		return fmt.Errorf("machines: profile needs a name")
+	}
+	if path := findNonFinite(reflect.ValueOf(p), "Profile"); path != "" {
+		return fmt.Errorf("machines: profile %s: non-finite value at %s", p.Name, path)
+	}
+	return nil
+}
+
+// findNonFinite walks v and returns the path of the first NaN or Inf
+// float64, or "" when every float is finite. Profile is a closed tree
+// of structs, slices and scalars, so the walk needs no cycle guard.
+func findNonFinite(v reflect.Value, path string) string {
+	switch v.Kind() {
+	case reflect.Float64, reflect.Float32:
+		f := v.Float()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return path
+		}
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < v.NumField(); i++ {
+			if bad := findNonFinite(v.Field(i), path+"."+t.Field(i).Name); bad != "" {
+				return bad
+			}
+		}
+	case reflect.Slice, reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			if bad := findNonFinite(v.Index(i), fmt.Sprintf("%s[%d]", path, i)); bad != "" {
+				return bad
+			}
+		}
+	}
+	return ""
+}
+
+// LoadProfileFile reads and decodes one profile data file.
+func LoadProfileFile(path string) (Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Profile{}, err
+	}
+	p, err := DecodeProfile(data)
+	if err != nil {
+		return Profile{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// WriteProfileFile encodes p canonically and writes it to path —
+// what `lmbench -calibrate -emit` and the catalog data files use.
+func WriteProfileFile(path string, p Profile) error {
+	data, err := EncodeProfile(p)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,164 @@
+package machines
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"repro/internal/simmem"
+	"strings"
+	"testing"
+)
+
+// TestProfileJSONRoundTrip proves Decode(Encode(p)) == p field for
+// field, for every profile shipped with the binary.
+func TestProfileJSONRoundTrip(t *testing.T) {
+	for _, e := range Default().Entries() {
+		p := e.Profile
+		data, err := EncodeProfile(p)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", p.Name, err)
+		}
+		got, err := DecodeProfile(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", p.Name, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Errorf("%s: round trip changed the profile\nbefore: %+v\nafter:  %+v", p.Name, p, got)
+		}
+	}
+}
+
+// TestProfileJSONFingerprintStable proves a profile loaded back from
+// its canonical encoding fingerprints identically — the property that
+// lets a -profile file share unit-cache keys with the compiled-in
+// equivalent.
+func TestProfileJSONFingerprintStable(t *testing.T) {
+	for _, e := range Default().Entries() {
+		p := e.Profile
+		want, err := p.Fingerprint()
+		if err != nil {
+			t.Fatalf("%s: fingerprint: %v", p.Name, err)
+		}
+		data, err := EncodeProfile(p)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", p.Name, err)
+		}
+		got, err := DecodeProfile(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", p.Name, err)
+		}
+		fp, err := got.Fingerprint()
+		if err != nil {
+			t.Fatalf("%s: fingerprint after decode: %v", p.Name, err)
+		}
+		if fp != want {
+			t.Errorf("%s: fingerprint changed across encode/decode", p.Name)
+		}
+	}
+}
+
+// TestProfileJSONEncodeFixedPoint proves the encoding is canonical:
+// encoding a decoded document reproduces the document byte for byte.
+func TestProfileJSONEncodeFixedPoint(t *testing.T) {
+	for _, e := range Default().Entries() {
+		one, err := EncodeProfile(e.Profile)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", e.Profile.Name, err)
+		}
+		p2, err := DecodeProfile(one)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", e.Profile.Name, err)
+		}
+		two, err := EncodeProfile(p2)
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", e.Profile.Name, err)
+		}
+		if string(one) != string(two) {
+			t.Errorf("%s: encode is not a fixed point", e.Profile.Name)
+		}
+	}
+}
+
+// TestProfileJSONMutationChangesFingerprint guards against canonical
+// encodings that drop information: perturbing any calibration field
+// must change the fingerprint.
+func TestProfileJSONMutationChangesFingerprint(t *testing.T) {
+	base, _ := ByName("Linux/i686")
+	want, err := base.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(*Profile){
+		"SyscallUS":   func(p *Profile) { p.SyscallUS *= 2 },
+		"CtxSwitchUS": func(p *Profile) { p.CtxSwitchUS++ },
+		"MemLatNS":    func(p *Profile) { p.MemLatNS += 5 },
+		"L1 size":     func(p *Profile) { p.Caches[0].Size *= 2 },
+		"line size":   func(p *Profile) { p.Caches[0].LineSize = 64 },
+		"FSMode":      func(p *Profile) { p.FSMode = 2 },
+		"Multi":       func(p *Profile) { p.Multi = true },
+	}
+	for name, mutate := range mutations {
+		p := base
+		p.Caches = append([]simmem.CacheConfig(nil), base.Caches...)
+		mutate(&p)
+		fp, err := p.Fingerprint()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fp == want {
+			t.Errorf("mutating %s did not change the fingerprint", name)
+		}
+	}
+}
+
+func TestDecodeProfileRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field": `{"Name": "x", "MHz": 100, "Typo": 3}`,
+		"trailing doc":  `{"Name": "x"}{"Name": "y"}`,
+		"trailing junk": `{"Name": "x"} garbage`,
+		"no name":       `{"MHz": 100}`,
+		"not json":      `hello`,
+		"wrong type":    `{"Name": "x", "MHz": "fast"}`,
+		"json NaN":      `{"Name": "x", "MHz": NaN}`,
+	}
+	for name, input := range cases {
+		if _, err := DecodeProfile([]byte(input)); err == nil {
+			t.Errorf("%s: decode accepted %q", name, input)
+		}
+	}
+}
+
+func TestEncodeProfileRejectsNonFinite(t *testing.T) {
+	p, _ := ByName("Linux/i686")
+	p.Caches = append([]simmem.CacheConfig(nil), p.Caches...)
+	p.Caches[1].LatencyNS = math.NaN()
+	_, err := EncodeProfile(p)
+	if err == nil {
+		t.Fatal("encode accepted NaN cache latency")
+	}
+	if !strings.Contains(err.Error(), "Caches[1].LatencyNS") {
+		t.Errorf("error does not name the offending path: %v", err)
+	}
+
+	p2, _ := ByName("Linux/i686")
+	p2.ReadBW = math.Inf(1)
+	if _, err := EncodeProfile(p2); err == nil {
+		t.Fatal("encode accepted +Inf ReadBW")
+	}
+}
+
+func TestProfileFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.json")
+	p, _ := ByName("Linux/i586")
+	if err := WriteProfileFile(path, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProfileFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Error("file round trip changed the profile")
+	}
+}

@@ -57,10 +57,10 @@ func TestPublishChaosConverges(t *testing.T) {
 	before := PublishRetries()
 	db := testDB(t, 1)
 	got, err := PublishWith(context.Background(), addr, testManifest("chaotic"), db, PublishOptions{
-		Retries: 10,
-		Backoff: 5 * time.Millisecond,
+		Retries:  10,
+		Backoff:  5 * time.Millisecond,
 		WrapConn: func(c net.Conn) net.Conn { return inj.Conn(c) },
-		OnRetry: func(n int, err error) { t.Logf("retry %d after: %v", n, err) },
+		OnRetry:  func(n int, err error) { t.Logf("retry %d after: %v", n, err) },
 	})
 	if err != nil {
 		t.Fatalf("publish never converged: %v (faults: %s)", err, inj.Stats())

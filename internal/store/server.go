@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/compare"
+	"repro/internal/machines"
 	"repro/internal/obs"
 	"repro/internal/paper"
 	"repro/internal/paperdata"
@@ -33,6 +34,8 @@ import (
 //	/api/compare?ref=&got=        sorted comparison table ("paper" allowed)
 //	/api/trend?bench=&machine=    per-benchmark series across runs (JSON)
 //	/api/regressions?base=&head=  automatic regression report (text)
+//	/api/machines                 machine-catalog listing (JSON)
+//	/api/machines/{name}          one profile's canonical JSON
 //
 // A {ref} or query reference is anything Store.Resolve accepts: a run
 // ID or unique prefix, a label, or "latest"/"latest~N".
@@ -50,6 +53,11 @@ type Server struct {
 	// Registry, when set, mounts /metrics and counts requests, 304s
 	// and render-cache traffic as lmbench_store_* families.
 	Registry *obs.Registry
+	// Catalog backs /api/machines; nil serves the shipped catalog.
+	// Profile ETags derive from fingerprints, so a mutable catalog
+	// (file-loaded or calibrated profiles added while serving) stays
+	// correctly revalidated.
+	Catalog *machines.Catalog
 
 	metricsOnce sync.Once
 	reqs        *obs.Counter
@@ -177,7 +185,7 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, etag, contentTy
 func httpError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	msg := err.Error()
-	if strings.Contains(msg, "no run matches") || strings.Contains(msg, "only") && strings.Contains(msg, "stored") {
+	if strings.Contains(msg, "no run matches") || strings.Contains(msg, "no machine named") || strings.Contains(msg, "only") && strings.Contains(msg, "stored") {
 		code = http.StatusNotFound
 	} else if strings.Contains(msg, "ambiguous") || strings.Contains(msg, "empty run reference") || strings.Contains(msg, "bad reference") || strings.Contains(msg, "no benchmarks in common") {
 		code = http.StatusBadRequest
@@ -278,6 +286,49 @@ func (s *Server) Handler() http.Handler {
 		})
 	})
 
+	mux.HandleFunc("GET /api/machines", func(w http.ResponseWriter, r *http.Request) {
+		cat := s.catalog()
+		entries := cat.Entries()
+		list := make([]machineInfo, 0, len(entries))
+		parts := []string{"machines"}
+		for _, e := range entries {
+			fp, err := e.Profile.Fingerprint()
+			if err != nil {
+				httpError(w, err)
+				return
+			}
+			// Fingerprint() is the full canonical identity string;
+			// publish its digest, not whole profiles, in the listing.
+			list = append(list, machineInfo{
+				Name: e.Profile.Name, CPU: e.Profile.CPUName, OS: e.Profile.OSName,
+				Geometry: machines.GeometrySummary(e.Profile),
+				Source:   e.Source, Fingerprint: fingerprintDigest(fp),
+			})
+			parts = append(parts, e.Profile.Name, e.Source, fp)
+		}
+		s.respond(w, r, etagFor(parts...), "application/json", func() ([]byte, error) {
+			return jsonBody(list)
+		})
+	})
+
+	// Machine names contain "/" ("Linux/i686"), hence the ... wildcard.
+	mux.HandleFunc("GET /api/machines/{name...}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		e, ok := s.catalog().Entry(name)
+		if !ok {
+			httpError(w, fmt.Errorf("no machine named %q in the catalog", name))
+			return
+		}
+		fp, err := e.Profile.Fingerprint()
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		s.respond(w, r, etagFor("machine", name, e.Source, fp), "application/json", func() ([]byte, error) {
+			return machines.EncodeProfile(e.Profile)
+		})
+	})
+
 	mux.HandleFunc("GET /api/compare", func(w http.ResponseWriter, r *http.Request) {
 		refKey, refDB, err := s.resolveCompareRef(r.URL.Query().Get("ref"))
 		if err != nil {
@@ -369,6 +420,32 @@ func (s *Server) Handler() http.Handler {
 	})
 
 	return mux
+}
+
+// catalog resolves the serving catalog (nil field = the shipped set).
+func (s *Server) catalog() *machines.Catalog {
+	if s.Catalog != nil {
+		return s.Catalog
+	}
+	return machines.Default()
+}
+
+// machineInfo is one row of the /api/machines listing.
+// fingerprintDigest compresses a Profile.Fingerprint identity string
+// (the full canonical JSON) into a short stable hex digest for
+// listings and cache-key display.
+func fingerprintDigest(fp string) string {
+	sum := sha256.Sum256([]byte(fp))
+	return hex.EncodeToString(sum[:])[:32]
+}
+
+type machineInfo struct {
+	Name        string `json:"name"`
+	CPU         string `json:"cpu,omitempty"`
+	OS          string `json:"os,omitempty"`
+	Geometry    string `json:"geometry,omitempty"`
+	Source      string `json:"source"`
+	Fingerprint string `json:"fingerprint"`
 }
 
 // runTitle names a run in human-facing reports: its label when set,

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/machines"
 	"repro/internal/obs"
 	"repro/internal/results"
 )
@@ -284,5 +285,100 @@ func TestMetricsExposed(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics exposition missing %q:\n%s", want, body)
 		}
+	}
+}
+
+// TestMachinesEndpoint covers the catalog listing and per-profile
+// routes: listing shape, ETag revalidation, slash-bearing names via
+// the path wildcard, canonical profile bytes, and 404s.
+func TestMachinesEndpoint(t *testing.T) {
+	_, _, ts := serverFixture(t)
+
+	resp, body := get(t, ts.URL+"/api/machines", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/machines: %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("/api/machines carries no ETag")
+	}
+	var list []machineInfo
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatalf("listing is not JSON: %v", err)
+	}
+	if len(list) < 25 {
+		t.Errorf("listing has %d machines, want >= 25", len(list))
+	}
+	byName := map[string]machineInfo{}
+	for _, mi := range list {
+		if mi.Fingerprint == "" || mi.Source == "" {
+			t.Errorf("machine %q missing fingerprint/source: %+v", mi.Name, mi)
+		}
+		byName[mi.Name] = mi
+	}
+	if mi := byName["Linux/i686"]; mi.Source != machines.SourceBuiltin {
+		t.Errorf("Linux/i686 source = %q, want builtin", mi.Source)
+	}
+	if mi := byName["Modern/desktop-3GHz"]; mi.Source != machines.SourceCalibrated {
+		t.Errorf("Modern/desktop-3GHz source = %q, want calibrated", mi.Source)
+	}
+	if resp, _ := get(t, ts.URL+"/api/machines", etag); resp.StatusCode != http.StatusNotModified {
+		t.Errorf("conditional listing GET: %d, want 304", resp.StatusCode)
+	}
+
+	// Slash-bearing name through the wildcard; body is the canonical
+	// encoding.
+	resp, body = get(t, ts.URL+"/api/machines/Linux/i686", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/machines/Linux/i686: %d", resp.StatusCode)
+	}
+	p, err := machines.DecodeProfile([]byte(body))
+	if err != nil {
+		t.Fatalf("profile body does not decode: %v", err)
+	}
+	if p.Name != "Linux/i686" {
+		t.Errorf("profile name %q", p.Name)
+	}
+	want, _ := machines.ByName("Linux/i686")
+	canon, err := machines.EncodeProfile(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != string(canon) {
+		t.Error("profile body differs from canonical encoding")
+	}
+	petag := resp.Header.Get("ETag")
+	if resp, _ := get(t, ts.URL+"/api/machines/Linux/i686", petag); resp.StatusCode != http.StatusNotModified {
+		t.Errorf("conditional profile GET: %d, want 304", resp.StatusCode)
+	}
+
+	if resp, _ := get(t, ts.URL+"/api/machines/No/Such/Machine", ""); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown machine: %d, want 404", resp.StatusCode)
+	}
+
+	// A custom catalog changes what the same routes serve, and the
+	// profile ETag tracks the fingerprint.
+	cat := machines.NewCatalog()
+	custom, _ := machines.ByName("Linux/i586")
+	custom.Name = "Custom/one"
+	if err := cat.Add(custom, machines.SourceFile); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := &Server{Store: nil, Catalog: cat}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	resp, body = get(t, ts2.URL+"/api/machines", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("custom catalog listing: %d", resp.StatusCode)
+	}
+	list = nil
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Name != "Custom/one" || list[0].Source != machines.SourceFile {
+		t.Errorf("custom listing: %+v", list)
+	}
+	if resp, _ := get(t, ts2.URL+"/api/machines/Custom/one", ""); resp.StatusCode != http.StatusOK {
+		t.Errorf("custom profile GET: %d", resp.StatusCode)
 	}
 }

@@ -118,6 +118,14 @@ type Config struct {
 	// Obs sees hits, misses, stores and evictions; nil means
 	// unobserved.
 	Obs Observer
+	// Resolve maps a machine name to its profile for cache-key
+	// fingerprinting. Nil defaults to the shipped catalog
+	// (machines.Default().ByName), a superset of the compiled
+	// built-ins; runs over file-loaded or calibration-candidate
+	// profiles install their catalog's resolver here so each distinct
+	// profile keys its own units. Names the resolver rejects are
+	// uncacheable (e.g. the host backend).
+	Resolve func(name string) (machines.Profile, bool)
 }
 
 // Stats is a point-in-time summary of one cache's traffic.
@@ -221,14 +229,24 @@ func KeyFor(profileFP, groupKey, optionsFP, codeVersion string, maxRSD float64, 
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// defaultResolve resolves machine names against the shipped catalog
+// (compiled built-ins plus embedded data files).
+func defaultResolve(name string) (machines.Profile, bool) {
+	return machines.Default().ByName(name)
+}
+
 // keyFor resolves the cache key for (machine, groupKey); ok=false
 // means the unit is uncacheable (the machine is not a catalog profile,
 // e.g. the host backend).
 func (c *Cache) keyFor(machine, groupKey string) (string, bool) {
+	resolve := c.cfg.Resolve
+	if resolve == nil {
+		resolve = defaultResolve
+	}
 	c.keysMu.Lock()
 	fp, seen := c.keys[machine]
 	if !seen {
-		if p, ok := machines.ByName(machine); ok {
+		if p, ok := resolve(machine); ok {
 			f, err := p.Fingerprint()
 			if err == nil {
 				fp = f

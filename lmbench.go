@@ -112,16 +112,15 @@ func MaybeChild() {
 // it when done.
 func NewHostMachine() (*host.Machine, error) { return host.New() }
 
-// SimMachineNames lists the built-in Table-1 machine profiles.
+// SimMachineNames lists the compiled-in Table-1 machine profiles. The
+// full shipped set — compiled built-ins plus embedded data-file
+// profiles — is CatalogMachineNames(nil).
 func SimMachineNames() []string { return machines.Names() }
 
-// NewSimMachine builds one of the built-in simulated machines.
+// NewSimMachine builds a simulated machine from the shipped catalog:
+// the compiled Table-1 testbed plus the embedded data-file profiles.
 func NewSimMachine(name string) (Machine, error) {
-	p, ok := machines.ByName(name)
-	if !ok {
-		return nil, &UnknownMachineError{Name: name}
-	}
-	return machines.Build(p)
+	return NewSimMachineIn(nil, name)
 }
 
 // UnknownMachineError reports a name with no built-in profile.
